@@ -1,0 +1,54 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and emits a
+textual version of it.  pytest captures stdout (even file descriptor 1),
+so lines are buffered here and flushed by the ``pytest_terminal_summary``
+hook in ``benchmarks/conftest.py`` — they appear at the end of
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+#: Buffered report lines, flushed at terminal summary.
+LINES: list[str] = []
+
+
+def emit(text: str = "") -> None:
+    """Buffer a report line for the terminal summary."""
+    LINES.append(text)
+
+
+def header(title: str) -> None:
+    emit()
+    emit("=" * 78)
+    emit(title)
+    emit("=" * 78)
+
+
+def table(rows: list[dict], columns: list[str] | None = None,
+          floatfmt: str = "{:.4g}") -> None:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        emit("(no rows)")
+        return
+    columns = columns or list(rows[0])
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    emit("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    emit("  ".join("-" * w for w in widths))
+    for row in rendered:
+        emit("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def paper_vs_measured(claim: str, paper: str, measured: str, holds: bool) -> None:
+    status = "OK " if holds else "DIFF"
+    emit(f"[{status}] {claim}")
+    emit(f"       paper:    {paper}")
+    emit(f"       measured: {measured}")

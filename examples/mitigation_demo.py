@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Mitigation demo: Algorithm 1 bounds + two-iteration re-execution.
+
+Runs the same history-corrupting fault as examples/quickstart.py three
+ways:
+
+* unprotected — the fault corrupts Adam's history state permanently;
+* detection only — the bound check flags it within two iterations;
+* detection + recovery — training rewinds two iterations, re-executes
+  them cleanly, and finishes indistinguishable from the fault-free run.
+
+Run:  python examples/mitigation_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.ffs import FFDescriptor
+from repro.core.faults import FaultInjector, HardwareFault, OpSite
+from repro.core.mitigation import (
+    HardwareFailureDetector,
+    MitigationHook,
+    RecoveryManager,
+    derive_bounds_for_trainer,
+)
+from repro.distributed import SyncDataParallelTrainer
+from repro.workloads import build_workload
+
+NUM_DEVICES = 4
+INJECT_AT = 20
+TOTAL = 60
+
+
+def make_fault() -> HardwareFault:
+    return HardwareFault(
+        ff=FFDescriptor("global_control", group=1, has_feedback=True),
+        site=OpSite("1.conv1", "weight_grad"),
+        iteration=INJECT_AT, device=1, seed=3,
+    )
+
+
+def make_trainer() -> SyncDataParallelTrainer:
+    spec = build_workload("resnet", size="tiny", seed=0)
+    return SyncDataParallelTrainer(spec, num_devices=NUM_DEVICES, seed=0,
+                                   test_every=10, eval_device=1)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The derived bounds (Algorithm 1) for this workload.
+    # ------------------------------------------------------------------
+    probe = make_trainer()
+    probe.train(2)
+    bounds = derive_bounds_for_trainer(probe)
+    print("Algorithm 1 bounds for this workload:")
+    print(f"  gradient-history bound 20*sqrt(n_l)/m = {bounds.history_bound:.3f}")
+    print(f"  mvar bound (1 + N_l eta^2 k^2)^l      = {bounds.mvar_bound:.3f}")
+    print(f"  (checked with slack {bounds.slack:.0f}x; Table 4 faulty values "
+          "are 1e8-1e38)")
+
+    # ------------------------------------------------------------------
+    # 1. Unprotected.
+    # ------------------------------------------------------------------
+    trainer = make_trainer()
+    trainer.add_hook(FaultInjector(make_fault()))
+    trainer.train(TOTAL)
+    print("\n[unprotected]")
+    print(f"  history magnitude after fault: "
+          f"{trainer.optimizer.history_magnitude():.3e}  <- corrupted state "
+          "persists")
+    print(f"  final train acc {trainer.record.final_train_accuracy():.2f}")
+
+    # ------------------------------------------------------------------
+    # 2. Detection only.
+    # ------------------------------------------------------------------
+    trainer = make_trainer()
+    detector = HardwareFailureDetector()
+    trainer.add_hook(FaultInjector(make_fault()))
+    trainer.add_hook(detector)
+    trainer.train(TOTAL)
+    event = detector.events[0]
+    print("\n[detection only]")
+    print(f"  {event.describe()}")
+    print(f"  detection latency: {detector.detection_latency(INJECT_AT)} "
+          "iterations (the paper guarantees <= 2)")
+
+    # ------------------------------------------------------------------
+    # 3. Detection + two-iteration re-execution.
+    # ------------------------------------------------------------------
+    trainer = make_trainer()
+    detector = HardwareFailureDetector()
+    mitigation = MitigationHook(detector, RecoveryManager(strategy="snapshot"))
+    trainer.add_hook(FaultInjector(make_fault()))
+    trainer.add_hook(mitigation)
+    trainer.train(TOTAL)
+    print("\n[detection + recovery]")
+    print(f"  detections at {trainer.record.detections}, "
+          f"re-executed from {trainer.record.recoveries}")
+    print(f"  history magnitude after recovery: "
+          f"{trainer.optimizer.history_magnitude():.3e}  <- clean")
+    print(f"  final train acc {trainer.record.final_train_accuracy():.2f}")
+
+    clean = make_trainer()
+    clean.train(TOTAL)
+    print(f"\nfault-free final train acc for comparison: "
+          f"{clean.record.final_train_accuracy():.2f}")
+
+
+if __name__ == "__main__":
+    main()

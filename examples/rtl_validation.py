@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Software-fault-model validation against the micro-RTL simulator.
+
+A miniature of the paper's Sec. 3.2.3 validation: inject bit flips into
+named flip-flops of a cycle-accurate MAC-array model (accumulators,
+operand registers, valid signals, address counters), diff the output
+against the golden run, and check that every non-masked fault's faulty
+element positions match the software fault model's prediction.
+
+Run:  python examples/rtl_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.rtl import MACArraySimulator, RTLFault
+from repro.core.faults.validation import predicted_positions_for, run_validation
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # One fault, step by step.
+    # ------------------------------------------------------------------
+    sim = MACArraySimulator()
+    rng = np.random.default_rng(0)
+    m, k, f = 6, 96, 24
+    x = rng.normal(size=(m, k)).astype(np.float32)
+    w = rng.normal(0, 0.1, size=(k, f)).astype(np.float32)
+    golden = sim.run(x, w)
+
+    fault = RTLFault("acc", cycle=sim.write_micro_cycle(0, k), index=3, bit=30)
+    faulty = sim.run(x, w, fault)
+    diff = sim.diff_positions(golden, faulty)
+    predicted = predicted_positions_for(fault, sim, m, k, f)
+    print("single experiment: flip bit 30 of MAC lane 3's accumulator at "
+          "the write cycle")
+    print(f"  RTL faulty positions:        {diff.tolist()}")
+    print(f"  software model's prediction: {predicted.tolist()}")
+    print(f"  golden value {golden.reshape(-1)[diff[0]]:.4f} -> "
+          f"faulty value {faulty.reshape(-1)[diff[0]]:.4e}")
+
+    # ------------------------------------------------------------------
+    # The statistical validation campaign.
+    # ------------------------------------------------------------------
+    print("\nrunning 400 random RTL fault injections...")
+    summary = run_validation(num_experiments=400, m=m, k=k, f=f, seed=0)
+    print(f"  masked by hardware:  {summary.masked}")
+    print(f"  matched prediction:  {summary.matched}")
+    print(f"  mismatched:          {summary.mismatched}")
+    print(f"  match rate on non-masked faults: {summary.match_rate:.1%}")
+    print("\n(the paper: 40K RTL experiments, all non-masked faults matched;")
+    print(" estimated <1 in 1M faults mis-modeled at 99% confidence)")
+
+
+if __name__ == "__main__":
+    main()

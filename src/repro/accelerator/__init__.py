@@ -1,0 +1,47 @@
+"""Accelerator model: configuration, dataflow, FF inventory, micro-RTL."""
+
+from repro.accelerator.buffers import BufferModel, LayerFootprint, conv_footprint
+from repro.accelerator.config import (
+    CONFIG_PRESETS,
+    CPU_SIMD_CONFIG,
+    DEFAULT_CONFIG,
+    GPU_LIKE_CONFIG,
+    AcceleratorConfig,
+)
+from repro.accelerator.dataflow import (
+    DataflowMap,
+    canonical_view_shape,
+    from_canonical,
+    to_canonical,
+)
+from repro.accelerator.ffs import (
+    DATAPATH_FRACTION,
+    GLOBAL_GROUP_FRACTIONS,
+    LOCAL_CONTROL_FRACTION,
+    FFDescriptor,
+    FFInventory,
+)
+from repro.accelerator.rtl import FF_NAMES, MACArraySimulator, RTLFault
+
+__all__ = [
+    "BufferModel",
+    "CONFIG_PRESETS",
+    "CPU_SIMD_CONFIG",
+    "DATAPATH_FRACTION",
+    "DEFAULT_CONFIG",
+    "FF_NAMES",
+    "GLOBAL_GROUP_FRACTIONS",
+    "LOCAL_CONTROL_FRACTION",
+    "AcceleratorConfig",
+    "DataflowMap",
+    "FFDescriptor",
+    "FFInventory",
+    "GPU_LIKE_CONFIG",
+    "LayerFootprint",
+    "MACArraySimulator",
+    "RTLFault",
+    "canonical_view_shape",
+    "conv_footprint",
+    "from_canonical",
+    "to_canonical",
+]

@@ -1,0 +1,101 @@
+"""On-chip buffer model.
+
+NVDLA's 512 KB of on-chip buffers hold layer inputs, weights, partial
+sums and outputs (Sec. 3.1).  The buffer model answers two questions the
+fault framework depends on:
+
+* **Tiling** — does a layer's working set fit on chip, and if not, how
+  many DRAM round-trips does it take?  Input faults behave differently
+  for DRAM reads ("n consecutive cycles") vs buffer reads ("one cycle")
+  in Table 1's groups 5-10, so the residency decision feeds the fault
+  models' duration choice.
+* **Feedback-loop length** — an accumulator/address FF's fault can
+  persist at most as long as the tile it is working on stays resident,
+  which bounds Table 1's ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+
+#: Bytes per element for each datapath precision.
+_ELEMENT_BYTES = {"fp32": 4, "bf16": 2, "fp16": 2, "int16": 2}
+
+
+@dataclass(frozen=True)
+class LayerFootprint:
+    """Byte footprint of one layer's working set on the accelerator."""
+
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+    partial_sum_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total working-set bytes across all four buffer roles."""
+        return (self.input_bytes + self.weight_bytes + self.output_bytes
+                + self.partial_sum_bytes)
+
+
+def conv_footprint(
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    height: int,
+    width: int,
+    batch: int = 1,
+    config: AcceleratorConfig = DEFAULT_CONFIG,
+) -> LayerFootprint:
+    """Working-set footprint of a stride-1 'same' convolution tile."""
+    mac_bytes = _ELEMENT_BYTES[config.mac_precision]
+    acc_bytes = _ELEMENT_BYTES[config.elementwise_precision]
+    return LayerFootprint(
+        input_bytes=batch * in_channels * height * width * mac_bytes,
+        weight_bytes=out_channels * in_channels * kernel * kernel * mac_bytes,
+        output_bytes=batch * out_channels * height * width * acc_bytes,
+        partial_sum_bytes=config.mac_lanes * acc_bytes,
+    )
+
+
+class BufferModel:
+    """Residency and tiling decisions for the on-chip buffer."""
+
+    def __init__(self, config: AcceleratorConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.capacity_bytes = config.buffer_kb * 1024
+
+    def fits(self, footprint: LayerFootprint) -> bool:
+        """True if the whole working set is buffer-resident."""
+        return footprint.total_bytes <= self.capacity_bytes
+
+    def dram_round_trips(self, footprint: LayerFootprint) -> int:
+        """Number of DRAM refills needed to stream the working set.
+
+        1 means a single load (then buffer-resident); k > 1 means the
+        inputs are re-streamed k times — each stream an opportunity for
+        the multi-cycle DRAM-read faults of Table 1 groups 5-10.
+        """
+        total = footprint.total_bytes
+        if total <= self.capacity_bytes:
+            return 1
+        return -(-total // self.capacity_bytes)  # ceil division
+
+    def input_read_cycles(self, footprint: LayerFootprint) -> str:
+        """Which Table 1 duration regime input-read faults fall into."""
+        return "buffer" if self.fits(footprint) else "dram"
+
+    def max_feedback_cycles(self, footprint: LayerFootprint) -> int:
+        """Upper bound on Table 1's ``n`` for FFs tied to this tile.
+
+        A fault inside a feedback loop persists while the tile is being
+        accumulated; the residency time (in cycles) is the tile's output
+        count divided by the MAC lane width, clamped to the configured
+        architectural bound.
+        """
+        acc_bytes = _ELEMENT_BYTES[self.config.elementwise_precision]
+        outputs = max(footprint.output_bytes // acc_bytes, 1)
+        cycles = max(outputs // self.config.mac_lanes, 1)
+        return min(cycles, self.config.max_feedback_loop)

@@ -1,0 +1,67 @@
+"""NVDLA-like accelerator configuration.
+
+Captures the architectural parameters of the accelerator the paper adopts
+(Sec. 3.1): 16 parallel MAC lanes produce 16 consecutive output channels
+per cycle; input reads fetch 64 consecutive input channels per cycle;
+512 KB of on-chip buffers hold inputs, weights, partial sums and outputs;
+MACs run in bfloat16 and element-wise units in FP32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tensor.dtypes import Precision
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Architectural parameters used by the dataflow and fault models."""
+
+    #: MAC lanes: output channels computed in parallel each cycle.
+    mac_lanes: int = 16
+    #: Input channels fetched per read cycle.
+    input_channels_per_cycle: int = 64
+    #: On-chip buffer capacity (KB); bounds feedback-loop lengths.
+    buffer_kb: int = 512
+    #: MAC operand precision (Sec. 3.1: bfloat16 for training MACs).
+    mac_precision: str = Precision.BF16
+    #: Element-wise / accumulator precision.
+    elementwise_precision: str = Precision.FP32
+    #: Maximum loop iterations for FFs with feedback loops (Table 1's
+    #: ``n`` is drawn between 1 and this bound when a loop exists).
+    max_feedback_loop: int = 16
+
+    def __post_init__(self):
+        if self.mac_lanes <= 0 or self.input_channels_per_cycle <= 0:
+            raise ValueError("lane/channel counts must be positive")
+        if self.max_feedback_loop < 1:
+            raise ValueError("max_feedback_loop must be >= 1")
+
+
+#: The default configuration used throughout the study.
+DEFAULT_CONFIG = AcceleratorConfig()
+
+#: Alternative device geometries (the paper's future work extends the
+#: study "to a broader set of ... DL training systems such as GPUs and
+#: CPUs").  The fault models consume only the dataflow geometry, so the
+#: whole framework retargets by swapping the configuration.
+GPU_LIKE_CONFIG = AcceleratorConfig(
+    mac_lanes=32,                 # warp-width parallel outputs
+    input_channels_per_cycle=32,  # narrower operand fetch
+    buffer_kb=192,                # register-file/SMEM scale
+    max_feedback_loop=8,
+)
+CPU_SIMD_CONFIG = AcceleratorConfig(
+    mac_lanes=8,                  # AVX-wide SIMD outputs
+    input_channels_per_cycle=8,
+    buffer_kb=64,                 # L1-resident tiles
+    max_feedback_loop=4,
+)
+
+#: Named presets for discovery.
+CONFIG_PRESETS = {
+    "nvdla": DEFAULT_CONFIG,
+    "gpu_like": GPU_LIKE_CONFIG,
+    "cpu_simd": CPU_SIMD_CONFIG,
+}

@@ -1,0 +1,159 @@
+"""Dataflow mapping: tensor elements <-> accelerator cycles.
+
+Table 1's software fault models are defined in terms of *which output
+elements are computed in which cycles*:
+
+* "Layer_Outputs computed in one cycle: they belong to 16 consecutive
+  channels, computed by 16 MAC units in parallel."
+* "Layer_Outputs computed in n consecutive cycles: output elements across
+  n cycles grow in the width dimension."
+
+This module canonicalizes any tensor produced during training (4D conv
+activations, 2D dense outputs, 3D sequence activations, 4D conv weight
+gradients, ...) into a (batch, channel, height, width) view and provides
+the cycle <-> element-coordinate mapping under that view.  The fault
+models (:mod:`repro.core.faults.software_models`) consume this geometry;
+the micro-RTL simulator (:mod:`repro.accelerator.rtl`) realizes the same
+schedule at bit level for validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+
+
+def canonical_view_shape(shape: tuple[int, ...]) -> tuple[int, int, int, int]:
+    """Map an arbitrary tensor shape to a (B, C, H, W) accelerator view.
+
+    * 4D ``(N, C, H, W)`` — used as is (conv activations and gradients;
+      conv weights ``(Cout, Cin, kh, kw)`` read Cout as batch... no:
+      weights are canonicalized by the caller via :func:`weight_view`).
+    * 3D ``(N, T, D)`` — channels are the model dimension ``D``, width is
+      the sequence: ``(N, D, 1, T)``.
+    * 2D ``(N, F)`` — channels are features, width is the batch row:
+      ``(1, F, 1, N)``.
+    * 1D ``(F,)`` — ``(1, F, 1, 1)``.
+    """
+    if len(shape) == 4:
+        return shape  # type: ignore[return-value]
+    if len(shape) == 3:
+        n, t, d = shape
+        return (n, d, 1, t)
+    if len(shape) == 2:
+        n, f = shape
+        return (1, f, 1, n)
+    if len(shape) == 1:
+        return (1, shape[0], 1, 1)
+    raise ValueError(f"cannot canonicalize shape {shape}")
+
+
+def to_canonical(tensor: np.ndarray) -> np.ndarray:
+    """Return a (B, C, H, W) view/copy of ``tensor`` per the rules above."""
+    if tensor.ndim == 4:
+        return tensor
+    if tensor.ndim == 3:
+        return np.ascontiguousarray(tensor.transpose(0, 2, 1))[:, :, None, :]
+    if tensor.ndim == 2:
+        return np.ascontiguousarray(tensor.T)[None, :, None, :]
+    if tensor.ndim == 1:
+        return tensor[None, :, None, None]
+    raise ValueError(f"cannot canonicalize {tensor.ndim}D tensor")
+
+
+def from_canonical(canonical: np.ndarray, original_shape: tuple[int, ...]) -> np.ndarray:
+    """Invert :func:`to_canonical` back to the original layout."""
+    if len(original_shape) == 4:
+        return canonical.reshape(original_shape)
+    if len(original_shape) == 3:
+        return np.ascontiguousarray(canonical[:, :, 0, :].transpose(0, 2, 1)).reshape(
+            original_shape
+        )
+    if len(original_shape) == 2:
+        return np.ascontiguousarray(canonical[0, :, 0, :].T).reshape(original_shape)
+    if len(original_shape) == 1:
+        return canonical.reshape(original_shape)
+    raise ValueError(f"cannot restore shape {original_shape}")
+
+
+class DataflowMap:
+    """Cycle schedule for producing one tensor on the accelerator.
+
+    Schedule (matching Table 1's definitions): the outermost loop is the
+    batch sample, then the output-channel group (``mac_lanes`` channels
+    at a time), then rows, then columns — so *consecutive cycles advance
+    the width dimension*, and each cycle produces up to ``mac_lanes``
+    elements in consecutive channels at one spatial position.
+    """
+
+    def __init__(self, shape: tuple[int, ...], config: AcceleratorConfig = DEFAULT_CONFIG):
+        self.original_shape = tuple(int(s) for s in shape)
+        self.view_shape = canonical_view_shape(self.original_shape)
+        self.config = config
+        b, c, h, w = self.view_shape
+        self.channel_groups = (c + config.mac_lanes - 1) // config.mac_lanes
+        self.cycles_per_sample = self.channel_groups * h * w
+        self.num_cycles = b * self.cycles_per_sample
+
+    def decode_cycle(self, cycle: int) -> tuple[int, int, int, int]:
+        """Cycle index -> (batch, channel_group, row, col)."""
+        if not 0 <= cycle < self.num_cycles:
+            raise ValueError(f"cycle {cycle} out of range [0, {self.num_cycles})")
+        b, c, h, w = self.view_shape
+        sample, rest = divmod(cycle, self.cycles_per_sample)
+        group, rest = divmod(rest, h * w)
+        row, col = divmod(rest, w)
+        return sample, group, row, col
+
+    def elements_at_cycle(self, cycle: int) -> tuple[np.ndarray, ...]:
+        """Canonical-view coordinates of elements produced in one cycle.
+
+        Returns index arrays (b_idx, c_idx, h_idx, w_idx) selecting up to
+        ``mac_lanes`` consecutive channels at a single (b, h, w).
+        """
+        b, c, h, w = self.view_shape
+        sample, group, row, col = self.decode_cycle(cycle)
+        lanes = self.config.mac_lanes
+        channels = np.arange(group * lanes, min((group + 1) * lanes, c))
+        n = channels.size
+        return (
+            np.full(n, sample),
+            channels,
+            np.full(n, row),
+            np.full(n, col),
+        )
+
+    def elements_for_cycles(self, start_cycle: int, n_cycles: int) -> tuple[np.ndarray, ...]:
+        """Coordinates of all elements produced in ``n_cycles`` consecutive
+        cycles starting at ``start_cycle`` (clipped to the schedule end)."""
+        end = min(start_cycle + max(int(n_cycles), 1), self.num_cycles)
+        parts = [self.elements_at_cycle(cyc) for cyc in range(start_cycle, end)]
+        return tuple(np.concatenate([p[i] for p in parts]) for i in range(4))
+
+    def lane_element_for_cycles(
+        self, start_cycle: int, n_cycles: int, lane: int
+    ) -> tuple[np.ndarray, ...]:
+        """Coordinates of the single-lane elements across consecutive
+        cycles (Table 1 group 3: "the bit-flips affect only one MAC unit")."""
+        b, c, h, w = self.view_shape
+        end = min(start_cycle + max(int(n_cycles), 1), self.num_cycles)
+        coords = [[], [], [], []]
+        for cyc in range(start_cycle, end):
+            sample, group, row, col = self.decode_cycle(cyc)
+            channel = group * self.config.mac_lanes + lane
+            if channel >= c:
+                continue
+            coords[0].append(sample)
+            coords[1].append(channel)
+            coords[2].append(row)
+            coords[3].append(col)
+        return tuple(np.asarray(part, dtype=np.int64) for part in coords)
+
+    def random_cycle(self, rng: np.random.Generator) -> int:
+        """Sample a uniformly random cycle of this schedule."""
+        return int(rng.integers(0, self.num_cycles))
+
+    def flat_indices(self, coords: tuple[np.ndarray, ...]) -> np.ndarray:
+        """Canonical-view coordinates -> flat indices in canonical layout."""
+        return np.ravel_multi_index(coords, self.view_shape)

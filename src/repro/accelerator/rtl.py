@@ -1,0 +1,195 @@
+"""Cycle-accurate micro-RTL simulator of the MAC datapath.
+
+The paper validates its software fault models against RTL fault injection
+(Sec. 3.2.3: 40K RTL experiments; every non-masked RTL fault's faulty
+output elements matched the software model's prediction).  NVDLA's RTL is
+not available offline, so this module implements a miniature but
+bit-accurate register-transfer-level model of the MAC array with explicit
+flip-flop state, sufficient to replay that validation:
+
+* 16 MAC lanes, each with an FP32 accumulator register;
+* a shared operand register file holding up to 64 bfloat16 activations;
+* an output-valid flag, an output-address register, an input-valid flag,
+  and a precision-configuration register.
+
+It executes a matmul ``y = x @ w`` on the same schedule as
+:class:`repro.accelerator.dataflow.DataflowMap` (lane tile over output
+features, width over rows), one *micro-cycle* per 64-channel accumulation
+chunk, with an architectural cycle completing when a lane tile's
+accumulation finishes and is written out.
+
+Faults are single bit flips / stuck values on named FFs at chosen
+micro-cycles; the simulator returns the faulty output for comparison
+against the golden run and the software fault model's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.tensor.bits import flip_float32_bit
+from repro.tensor.dtypes import to_bfloat16, to_int16_saturating
+
+#: FF names injectable in the micro-RTL model.
+FF_NAMES = ("acc", "a_reg", "out_valid", "out_addr", "in_valid", "cfg_precision")
+
+
+@dataclass
+class RTLFault:
+    """A fault on one named FF of the micro-RTL model.
+
+    ``cycle`` is a micro-cycle index; ``duration`` extends stuck-at
+    effects (valid flags, config) over several micro-cycles, mirroring
+    Table 1's ``n``-cycle effects from feedback loops.
+    """
+
+    ff: str
+    cycle: int
+    index: int = 0  # lane (acc) or operand slot (a_reg)
+    bit: int = 0
+    duration: int = 1
+
+    def __post_init__(self):
+        if self.ff not in FF_NAMES:
+            raise ValueError(f"unknown FF {self.ff!r}; expected one of {FF_NAMES}")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+
+    def active(self, cycle: int) -> bool:
+        """True if this fault is asserted during ``cycle``."""
+        return self.cycle <= cycle < self.cycle + self.duration
+
+
+class MACArraySimulator:
+    """Micro-RTL MAC array executing ``y = x @ w`` (x: MxK, w: KxF)."""
+
+    def __init__(self, config: AcceleratorConfig = DEFAULT_CONFIG):
+        self.config = config
+        self.lanes = config.mac_lanes
+        self.k_chunk = config.input_channels_per_cycle
+
+    # ------------------------------------------------------------------
+    # Schedule geometry
+    # ------------------------------------------------------------------
+    def schedule(self, m: int, k: int, f: int) -> list[tuple[int, int, int, bool]]:
+        """Micro-cycle list: (f_tile, row, k_chunk_index, is_last_chunk).
+
+        Architectural-cycle order matches DataflowMap for a 2D output
+        (tile-major, then rows); each architectural cycle expands into
+        ``ceil(K / k_chunk)`` micro-cycles, the last of which writes out.
+        """
+        chunks = (k + self.k_chunk - 1) // self.k_chunk
+        tiles = (f + self.lanes - 1) // self.lanes
+        out = []
+        for tile in range(tiles):
+            for row in range(m):
+                for kc in range(chunks):
+                    out.append((tile, row, kc, kc == chunks - 1))
+        return out
+
+    def num_micro_cycles(self, m: int, k: int, f: int) -> int:
+        """Total micro-cycles to execute an (m, k) x (k, f) matmul."""
+        chunks = (k + self.k_chunk - 1) // self.k_chunk
+        tiles = (f + self.lanes - 1) // self.lanes
+        return tiles * m * chunks
+
+    def micro_to_arch_cycle(self, micro: int, m: int, k: int, f: int) -> int:
+        """Map a micro-cycle to its architectural (DataflowMap) cycle."""
+        chunks = (k + self.k_chunk - 1) // self.k_chunk
+        return micro // chunks
+
+    def write_micro_cycle(self, arch_cycle: int, k: int) -> int:
+        """The micro-cycle at which an architectural cycle writes out."""
+        chunks = (k + self.k_chunk - 1) // self.k_chunk
+        return arch_cycle * chunks + chunks - 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray, w: np.ndarray, fault: RTLFault | None = None) -> np.ndarray:
+        """Execute the matmul cycle by cycle, applying ``fault`` if given.
+
+        Returns the output buffer (M, F); untouched locations stay 0 (the
+        buffer's initial state), which is how valid/address faults leave
+        holes.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        w = np.asarray(w, dtype=np.float32)
+        m, k = x.shape
+        k2, f = w.shape
+        if k != k2:
+            raise ValueError(f"shape mismatch: x {x.shape} @ w {w.shape}")
+        out = np.zeros((m, f), dtype=np.float32)
+        acc = np.zeros(self.lanes, dtype=np.float32)
+        stale_a_regs = np.zeros(self.k_chunk, dtype=np.float32)
+        precision_int16 = False
+        with np.errstate(over="ignore", invalid="ignore"):
+            for micro, (tile, row, kc, is_last) in enumerate(self.schedule(m, k, f)):
+                if kc == 0:
+                    acc = np.zeros(self.lanes, dtype=np.float32)
+                lo, hi = kc * self.k_chunk, min((kc + 1) * self.k_chunk, k)
+                width = hi - lo
+                # --- input fetch stage ---------------------------------
+                a_regs = np.zeros(self.k_chunk, dtype=np.float32)
+                a_regs[:width] = to_bfloat16(x[row, lo:hi])
+                if fault is not None and fault.active(micro):
+                    if fault.ff == "in_valid":
+                        if fault.bit == 0:
+                            # valid -> invalid: stale operands are reused.
+                            a_regs = stale_a_regs.copy()
+                        else:
+                            # invalid -> valid: garbage (zeros) is consumed.
+                            a_regs = np.zeros(self.k_chunk, dtype=np.float32)
+                    elif fault.ff == "a_reg" and fault.index < self.k_chunk:
+                        a_regs[fault.index] = flip_float32_bit(
+                            a_regs[fault.index], 16 + fault.bit
+                        )
+                    elif fault.ff == "cfg_precision":
+                        precision_int16 = True
+                stale_a_regs = a_regs.copy()
+                # --- MAC stage ------------------------------------------
+                lane_lo = tile * self.lanes
+                lane_hi = min(lane_lo + self.lanes, f)
+                w_tile = np.zeros((self.k_chunk, self.lanes), dtype=np.float32)
+                w_tile[:width, : lane_hi - lane_lo] = to_bfloat16(
+                    w[lo:hi, lane_lo:lane_hi]
+                )
+                operands = a_regs
+                if precision_int16:
+                    operands = to_int16_saturating(a_regs * 256.0)
+                partial = operands @ w_tile
+                acc = (acc + partial).astype(np.float32)
+                if fault is not None and fault.active(micro) and fault.ff == "acc":
+                    lane = fault.index % self.lanes
+                    acc[lane] = flip_float32_bit(acc[lane], fault.bit)
+                # --- write stage ----------------------------------------
+                write = is_last
+                address = row  # output row address for this tile
+                if fault is not None and fault.active(micro):
+                    if fault.ff == "out_valid":
+                        # bit 0: valid->invalid — the write is suppressed;
+                        # bit 1: invalid->valid — a spurious write occurs
+                        # even mid-accumulation (partial sums escape).
+                        write = bool(fault.bit)
+                    if fault.ff == "out_addr":
+                        address = row ^ (1 << fault.bit)
+                if write and 0 <= address < m:
+                    out[address, lane_lo:lane_hi] = acc[: lane_hi - lane_lo]
+        return out
+
+    # ------------------------------------------------------------------
+    # Analysis helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def diff_positions(golden: np.ndarray, faulty: np.ndarray) -> np.ndarray:
+        """Flat indices where the faulty output differs from the golden.
+
+        NaN == NaN counts as equal (both runs non-finite the same way).
+        """
+        g = golden.reshape(-1)
+        h = faulty.reshape(-1)
+        equal = (g == h) | (np.isnan(g) & np.isnan(h))
+        return np.nonzero(~equal)[0]

@@ -1,0 +1,220 @@
+"""Command-line interface for the reproduction.
+
+Mirrors the paper artifact's entry points (train a workload, replay an
+injection, evaluate the technique) as subcommands::
+
+    python -m repro train resnet --iterations 60
+    python -m repro inject resnet --site 1.conv1 --kind weight_grad \\
+        --group 1 --iteration 20 --device 1
+    python -m repro campaign resnet --experiments 40
+    python -m repro validate --experiments 400
+    python -m repro mitigate resnet --iteration 20
+
+Every command prints an artifact-style text report (see
+:mod:`repro.core.analysis.report`) and exits non-zero on hard failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accelerator.ffs import FFDescriptor
+from repro.core.analysis.classify import classify_outcome
+from repro.core.analysis.report import render_campaign, render_convergence
+from repro.core.faults import (
+    Campaign,
+    FaultInjector,
+    HardwareFault,
+    OpSite,
+    run_validation,
+)
+from repro.core.mitigation import (
+    HardwareFailureDetector,
+    MitigationHook,
+    RecoveryManager,
+)
+from repro.distributed import SyncDataParallelTrainer
+from repro.workloads import build_workload, workload_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", choices=["tiny", "small"], default="tiny",
+                        help="workload scale (default: tiny)")
+    parser.add_argument("--devices", type=int, default=4,
+                        help="simulated training devices (default: 4)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_trainer(args, eval_device: int = 0,
+                  stop_on_nonfinite: bool = True) -> SyncDataParallelTrainer:
+    spec = build_workload(args.workload, size=args.size, seed=args.seed)
+    return SyncDataParallelTrainer(
+        spec, num_devices=args.devices, seed=args.seed,
+        test_every=max(spec.iterations // 6, 1), eval_device=eval_device,
+        stop_on_nonfinite=stop_on_nonfinite,
+    )
+
+
+def _make_fault(args) -> HardwareFault:
+    if args.bit is not None:
+        ff = FFDescriptor("datapath", bit=args.bit)
+    elif args.group is not None:
+        ff = FFDescriptor("global_control", group=args.group, has_feedback=True)
+    else:
+        ff = FFDescriptor("local_control", has_feedback=True)
+    return HardwareFault(ff=ff, site=OpSite(args.site, args.kind),
+                         iteration=args.iteration, device=args.device,
+                         seed=args.fault_seed)
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_train(args) -> int:
+    """``repro train``: fault-free training with a text report."""
+    trainer = _make_trainer(args)
+    trainer.train(args.iterations)
+    print(render_convergence(trainer.record, every=args.report_every,
+                             title=f"{args.workload} fault-free"))
+    return 0
+
+
+def cmd_inject(args) -> int:
+    """``repro inject``: one fault, classified against a clean run."""
+    trainer = _make_trainer(args, eval_device=args.device,
+                            stop_on_nonfinite=False)
+    reference = _make_trainer(args)
+    reference.stop_on_nonfinite = True
+    fault = _make_fault(args)
+    injector = FaultInjector(fault)
+    trainer.add_hook(injector)
+    total = args.iterations
+    trainer.train(total)
+    reference.train(total)
+    print(render_convergence(trainer.record, every=args.report_every,
+                             title=f"{args.workload} + {fault.describe()}"))
+    if injector.record is not None:
+        print(f"\nfault effect: {injector.record.num_faulty} elements, "
+              f"max |value| {injector.record.max_abs_faulty():.3e}")
+    report = classify_outcome(trainer.record, reference.record, fault.iteration)
+    print(f"outcome: {report.outcome.value} (unexpected: {report.is_unexpected})")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """``repro campaign``: statistical FI with aggregate statistics."""
+    spec = build_workload(args.workload, size=args.size, seed=args.seed)
+    campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
+                        test_every=max(spec.iterations // 6, 1))
+    result = campaign.run(args.experiments, seed=args.campaign_seed)
+    print(render_campaign(result))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """``repro validate``: software fault models vs micro-RTL."""
+    summary = run_validation(num_experiments=args.experiments, seed=args.seed)
+    print(f"RTL validation: {summary.total} experiments, "
+          f"{summary.masked} masked, {summary.matched} matched, "
+          f"{summary.mismatched} mismatched "
+          f"(match rate {summary.match_rate:.1%})")
+    return 0 if summary.mismatched == 0 else 1
+
+
+def cmd_mitigate(args) -> int:
+    """``repro mitigate``: inject under detection + recovery."""
+    trainer = _make_trainer(args, eval_device=args.device,
+                            stop_on_nonfinite=False)
+    fault = _make_fault(args)
+    detector = HardwareFailureDetector()
+    trainer.add_hook(FaultInjector(fault))
+    trainer.add_hook(MitigationHook(detector, RecoveryManager(strategy=args.strategy)))
+    trainer.train(args.iterations)
+    print(render_convergence(trainer.record, every=args.report_every,
+                             title=f"{args.workload} + fault + mitigation"))
+    if detector.fired:
+        print(f"\ndetected at iteration {detector.fired_at()} "
+              f"(latency {detector.detection_latency(fault.iteration)}), "
+              f"re-executed from {trainer.record.recoveries}")
+        return 0
+    print("\nno detection event (the fault was masked or benign)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Understanding and Mitigating Hardware "
+                    "Failures in DL Training Accelerator Systems' (ISCA 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a workload fault-free")
+    train.add_argument("workload", choices=workload_names())
+    _add_common(train)
+    train.add_argument("--iterations", type=int, default=60)
+    train.add_argument("--report-every", type=int, default=5)
+    train.set_defaults(func=cmd_train)
+
+    def add_fault_args(p):
+        """Shared fault-description flags for inject/mitigate."""
+        p.add_argument("--site", default="1.conv1",
+                       help="op-site module name (default: 1.conv1)")
+        p.add_argument("--kind", default="weight_grad",
+                       choices=["forward", "weight_grad", "input_grad"])
+        p.add_argument("--group", type=int, choices=range(1, 11),
+                       help="global control fault group (Table 1)")
+        p.add_argument("--bit", type=int,
+                       help="datapath bit flip position (0-31)")
+        p.add_argument("--iteration", type=int, default=20)
+        p.add_argument("--device", type=int, default=1)
+        p.add_argument("--fault-seed", type=int, default=3)
+
+    inject = sub.add_parser("inject", help="inject one hardware fault")
+    inject.add_argument("workload", choices=workload_names())
+    _add_common(inject)
+    add_fault_args(inject)
+    inject.add_argument("--iterations", type=int, default=60)
+    inject.add_argument("--report-every", type=int, default=5)
+    inject.set_defaults(func=cmd_inject)
+
+    campaign = sub.add_parser("campaign", help="run a statistical FI campaign")
+    campaign.add_argument("workload", choices=workload_names())
+    _add_common(campaign)
+    campaign.add_argument("--experiments", type=int, default=30)
+    campaign.add_argument("--campaign-seed", type=int, default=77)
+    campaign.set_defaults(func=cmd_campaign)
+
+    validate = sub.add_parser("validate",
+                              help="validate software fault models vs micro-RTL")
+    validate.add_argument("--experiments", type=int, default=400)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=cmd_validate)
+
+    mitigate = sub.add_parser("mitigate",
+                              help="inject a fault under detection + recovery")
+    mitigate.add_argument("workload", choices=workload_names())
+    _add_common(mitigate)
+    add_fault_args(mitigate)
+    mitigate.add_argument("--iterations", type=int, default=60)
+    mitigate.add_argument("--report-every", type=int, default=5)
+    mitigate.add_argument("--strategy", choices=["snapshot", "arithmetic"],
+                          default="snapshot")
+    mitigate.set_defaults(func=cmd_mitigate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

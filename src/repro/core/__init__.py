@@ -1,0 +1,5 @@
+"""The paper's contribution: fault injection, analysis, and mitigation."""
+
+from repro.core import analysis, faults, mitigation
+
+__all__ = ["analysis", "faults", "mitigation"]

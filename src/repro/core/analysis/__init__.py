@@ -1,0 +1,45 @@
+"""Outcome classification, phase decomposition, propagation tracing."""
+
+from repro.core.analysis.classify import (
+    ClassifierThresholds,
+    Outcome,
+    OutcomeReport,
+    classify_outcome,
+    outcome_breakdown,
+)
+from repro.core.analysis.phases import (
+    PhaseAnalysis,
+    decompose_phases,
+    decompose_phases_vs_reference,
+    expected_stagnation_iterations,
+)
+from repro.core.analysis.propagation import (
+    ConditionOnset,
+    PropagationTrace,
+    PropagationTracer,
+)
+from repro.core.analysis.stats import (
+    ProportionEstimate,
+    experiments_for_interval,
+    unobserved_outcome_bound,
+    wilson_interval,
+)
+
+__all__ = [
+    "ClassifierThresholds",
+    "ConditionOnset",
+    "Outcome",
+    "OutcomeReport",
+    "PhaseAnalysis",
+    "PropagationTrace",
+    "PropagationTracer",
+    "ProportionEstimate",
+    "classify_outcome",
+    "decompose_phases",
+    "decompose_phases_vs_reference",
+    "expected_stagnation_iterations",
+    "experiments_for_interval",
+    "outcome_breakdown",
+    "unobserved_outcome_bound",
+    "wilson_interval",
+]

@@ -1,0 +1,212 @@
+"""Training-outcome taxonomy and classifier (Table 3 of the paper).
+
+Outcomes are classified from convergence trends exactly as the paper
+characterizes them: "(1) convergence trends (i.e., training/test accuracy
+values throughout the training process), and (2) occurrences of visible
+anomalies" (Sec. 4.1).
+
+Two top-level categories:
+
+* **Benign** (82.3%-90.3% in the paper): the fault did not significantly
+  affect final accuracy — often *slightly improving* it (noise acting as
+  regularization), otherwise degrading it only slightly (<= ~6%).
+* **Unexpected** (9.7%-17.7%): INFs/NaNs at three latencies, plus the four
+  latent outcomes first identified by the paper: SlowDegrade,
+  SharpSlowDegrade, SharpDegrade, and LowTestAccuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.training.metrics import ConvergenceRecord
+
+
+class Outcome(str, Enum):
+    """Training outcomes (Table 3 taxonomy plus the benign split)."""
+
+    MASKED_IMPROVED = "masked_improved"
+    MASKED_SLIGHT_DEGRADE = "masked_slight_degrade"
+    IMMEDIATE_INF_NAN = "immediate_inf_nan"
+    SHORT_TERM_INF_NAN = "short_term_inf_nan"
+    LATENT_INF_NAN = "latent_inf_nan"
+    SLOW_DEGRADE = "slow_degrade"
+    SHARP_SLOW_DEGRADE = "sharp_slow_degrade"
+    SHARP_DEGRADE = "sharp_degrade"
+    LOW_TEST_ACCURACY = "low_test_accuracy"
+
+    @property
+    def is_unexpected(self) -> bool:
+        return self not in (Outcome.MASKED_IMPROVED, Outcome.MASKED_SLIGHT_DEGRADE)
+
+    @property
+    def is_latent(self) -> bool:
+        """Latent outcomes: long error-detection latency (Table 3)."""
+        return self in (
+            Outcome.SLOW_DEGRADE,
+            Outcome.SHARP_SLOW_DEGRADE,
+            Outcome.SHARP_DEGRADE,
+            Outcome.LOW_TEST_ACCURACY,
+        )
+
+
+@dataclass(frozen=True)
+class ClassifierThresholds:
+    """Tunable decision thresholds for the outcome classifier."""
+
+    #: Final train/test degradation below this is "slight" (paper: mostly
+    #: within 2%, up to 6%).
+    slight_degrade: float = 0.06
+    #: A drop of at least this much within ``sharp_window`` iterations of
+    #: the injection counts as a *sharp* drop.  Measured on the RAW curve
+    #: (a sharp drop is a single-iteration event at the fault iteration —
+    #: the faulty device's shard predictions collapse — and smoothing
+    #: would average it away).
+    sharp_drop: float = 0.15
+    #: Iterations after injection within which a sharp drop must appear.
+    sharp_window: int = 3
+    #: Smoothing window (iterations) for accuracy curves.
+    smooth: int = 5
+    #: Extra degradation after the initial sharp drop that distinguishes
+    #: SharpSlowDegrade (drop + continued slow degradation) from
+    #: SharpDegrade (drop, then flat).
+    continued_degrade: float = 0.10
+    #: INFs/NaNs appearing within this many iterations of the fault are
+    #: "immediate" (Table 3: current iteration, or next for backward
+    #: faults); within ``short_term_latency`` they are "short-term".
+    immediate_latency: int = 1
+    short_term_latency: int = 3
+
+
+def _smooth(values: np.ndarray, window: int) -> np.ndarray:
+    if values.size == 0 or window <= 1:
+        return np.asarray(values, dtype=np.float64)
+    w = min(window, values.size)
+    # Edge-padded moving average: zero padding (plain mode="same") would
+    # drag boundary values toward 0 and fabricate degradations.
+    padded = np.pad(np.asarray(values, dtype=np.float64), (w // 2, w - 1 - w // 2),
+                    mode="edge")
+    return np.convolve(padded, np.ones(w) / w, mode="valid")
+
+
+@dataclass
+class OutcomeReport:
+    """Classification result with the evidence behind it."""
+
+    outcome: Outcome
+    injection_iteration: int
+    final_train_delta: float
+    final_test_delta: float
+    sharp_drop_at_injection: bool
+    details: dict
+
+    @property
+    def is_unexpected(self) -> bool:
+        return self.outcome.is_unexpected
+
+
+def classify_outcome(
+    faulty: ConvergenceRecord,
+    reference: ConvergenceRecord,
+    injection_iteration: int,
+    thresholds: ClassifierThresholds | None = None,
+) -> OutcomeReport:
+    """Classify a faulty run's outcome against its fault-free reference.
+
+    The reference must come from the same workload/seed so the curves are
+    directly comparable (the campaign guarantees this).
+    """
+    th = thresholds or ClassifierThresholds()
+    t = int(injection_iteration)
+
+    # ------------------------------------------------------------------
+    # INFs/NaNs: classify by manifestation latency (Table 3).
+    # ------------------------------------------------------------------
+    if faulty.nonfinite_at is not None:
+        latency = faulty.nonfinite_at - t
+        if latency <= th.immediate_latency:
+            outcome = Outcome.IMMEDIATE_INF_NAN
+        elif latency <= th.short_term_latency:
+            outcome = Outcome.SHORT_TERM_INF_NAN
+        else:
+            outcome = Outcome.LATENT_INF_NAN
+        return OutcomeReport(
+            outcome, t, 0.0, 0.0, False,
+            {"nonfinite_at": faulty.nonfinite_at, "latency": latency},
+        )
+
+    ref_train = reference.final_train_accuracy()
+    ref_test = reference.final_test_accuracy()
+    train_delta = faulty.final_train_accuracy() - ref_train
+    test_delta = faulty.final_test_accuracy() - ref_test
+
+    raw = faulty.train_accuracy_array()
+    acc = _smooth(raw, th.smooth)
+    # Pre-injection level: smoothed accuracy just before the fault.
+    pre_lo = max(t - th.smooth, 0)
+    pre = float(np.mean(acc[pre_lo : t + 1])) if acc.size > t else float(acc[-1]) if acc.size else 0.0
+    # Sharp-drop detection runs on the raw curve, including iteration t
+    # itself: the drop at the fault iteration comes from the faulty
+    # device's shard predictions collapsing in that very iteration.
+    post_window = raw[t : t + th.sharp_window + 1]
+    sharp = bool(post_window.size and (pre - post_window.min()) >= th.sharp_drop)
+
+    details = {
+        "pre_injection_acc": pre,
+        "ref_final_train": ref_train,
+        "ref_final_test": ref_test,
+    }
+
+    # ------------------------------------------------------------------
+    # Latent degradations.
+    # ------------------------------------------------------------------
+    train_degraded = train_delta < -th.slight_degrade
+    test_degraded = test_delta < -th.slight_degrade
+
+    if train_degraded:
+        if sharp:
+            # Sharp drop at injection: did degradation continue afterwards?
+            # The smoothed level right after the drop window is the
+            # reference; further decline below it marks the slow component.
+            settle = t + th.sharp_window
+            after_drop = acc[settle : settle + th.smooth]
+            later = acc[settle + th.smooth :]
+            continued = bool(
+                after_drop.size
+                and later.size
+                and (float(after_drop.mean()) - float(later.min())) >= th.continued_degrade
+            )
+            outcome = Outcome.SHARP_SLOW_DEGRADE if continued else Outcome.SHARP_DEGRADE
+        else:
+            outcome = Outcome.SLOW_DEGRADE
+        return OutcomeReport(outcome, t, train_delta, test_delta, sharp, details)
+
+    if test_degraded:
+        # Training accuracy normal, test visibly degraded: LowTestAccuracy.
+        return OutcomeReport(
+            Outcome.LOW_TEST_ACCURACY, t, train_delta, test_delta, sharp, details
+        )
+
+    # ------------------------------------------------------------------
+    # Benign outcomes.
+    # ------------------------------------------------------------------
+    if train_delta >= 0 and test_delta >= -th.slight_degrade / 2:
+        outcome = Outcome.MASKED_IMPROVED
+    else:
+        outcome = Outcome.MASKED_SLIGHT_DEGRADE
+    return OutcomeReport(outcome, t, train_delta, test_delta, sharp, details)
+
+
+def outcome_breakdown(reports: list[OutcomeReport]) -> dict[str, float]:
+    """Fraction of experiments per outcome, normalized to the total —
+    the quantity plotted in the paper's Fig. 3."""
+    if not reports:
+        return {}
+    counts: dict[str, int] = {}
+    for report in reports:
+        counts[report.outcome.value] = counts.get(report.outcome.value, 0) + 1
+    total = len(reports)
+    return {name: counts.get(name, 0) / total for name in [o.value for o in Outcome]}

@@ -1,0 +1,62 @@
+"""Textual reports for campaign results.
+
+The paper's artifact emits ``replay_inj_*.txt`` files recording training
+loss/accuracy per iteration and flagged anomalies.  This module renders
+equivalent human-readable summaries for :class:`ConvergenceRecord` and
+:class:`CampaignResult` objects, so examples and operators can inspect
+experiments without plotting.
+"""
+
+from __future__ import annotations
+
+from repro.core.faults.campaign import CampaignResult
+from repro.training.metrics import ConvergenceRecord
+
+
+def render_convergence(record: ConvergenceRecord, every: int = 1,
+                       title: str = "training run") -> str:
+    """Render a run's convergence trace, artifact-style."""
+    lines = [f"# {title}"]
+    for i in range(0, record.num_iterations, max(int(every), 1)):
+        lines.append(
+            f"iter {record.iterations[i]:>5d}  "
+            f"loss {record.train_loss[i]:>10.4f}  "
+            f"train_acc {record.train_acc[i]:.4f}"
+        )
+    for iteration, acc in zip(record.test_iterations, record.test_acc):
+        lines.append(f"test @ iter {iteration:>5d}  test_acc {acc:.4f}")
+    if record.nonfinite_at is not None:
+        lines.append(f"!! INFs/NaNs observed at iteration {record.nonfinite_at}")
+    for iteration in record.detections:
+        lines.append(f"!! hardware failure detected at iteration {iteration}")
+    for iteration in record.recoveries:
+        lines.append(f">> recovery: re-executed from iteration {iteration}")
+    return "\n".join(lines)
+
+
+def render_campaign(result: CampaignResult) -> str:
+    """Render a campaign's aggregate statistics (Fig. 3 / Table 4 style)."""
+    lines = [f"# campaign: {result.workload} "
+             f"({result.num_experiments} experiments)"]
+    lines.append("## outcome breakdown (normalized to total)")
+    for outcome, fraction in sorted(result.breakdown().items(),
+                                    key=lambda kv: -kv[1]):
+        if fraction > 0:
+            lines.append(f"  {outcome:<24s} {fraction:7.2%}")
+    interval = result.unexpected_interval()
+    lines.append(
+        f"## unexpected rate {result.unexpected_fraction():.2%} "
+        f"(99% CI [{interval.low:.2%}, {interval.high:.2%}])"
+    )
+    lines.append("## contribution by FF class (Sec. 4.3.1)")
+    for category, stats in result.by_ff_category().items():
+        lines.append(
+            f"  {category:<18s} population {stats['population_fraction']:6.2%}  "
+            f"share of unexpected {stats['unexpected_share']:6.2%}"
+        )
+    ranges = result.condition_ranges()
+    if ranges:
+        lines.append("## necessary-condition ranges (Table 4)")
+        for outcome, (lo, hi) in ranges.items():
+            lines.append(f"  {outcome:<24s} {lo:.3e} .. {hi:.3e}")
+    return "\n".join(lines)

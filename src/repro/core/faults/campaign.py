@@ -1,0 +1,300 @@
+"""Statistical fault-injection campaigns (Sec. 3.3 / Sec. 4 of the paper).
+
+A :class:`Campaign` reproduces the paper's experiment protocol at reduced
+scale:
+
+1. train the workload fault-free to a warm-up point once and snapshot it
+   (the paper's per-epoch checkpoints);
+2. for each experiment, restore the snapshot, sample a random fault
+   (FF x cycle x op-site x device x iteration), inject it, and continue
+   training "until either an error message [INFs/NaNs] is encountered, or
+   until a predefined number of training iterations are completed";
+3. classify the outcome against the fault-free reference run and collect
+   the necessary-condition magnitudes (Table 4).
+
+An :class:`InferenceCampaign` applies the same faults to inference only,
+for the training-vs-inference comparison of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerator.ffs import FFInventory
+from repro.core.analysis.classify import (
+    ClassifierThresholds,
+    Outcome,
+    OutcomeReport,
+    classify_outcome,
+    outcome_breakdown,
+)
+from repro.core.analysis.propagation import PropagationTracer
+from repro.core.analysis.stats import ProportionEstimate, wilson_interval
+from repro.core.faults.hardware import SITE_KINDS, HardwareFault, sample_fault
+from repro.core.faults.injector import FaultInjector
+from repro.distributed.sync import SyncDataParallelTrainer
+from repro.training.checkpoints import Checkpoint
+from repro.training.metrics import ConvergenceRecord
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass
+class ExperimentResult:
+    """One fault-injection experiment's full outcome."""
+
+    fault: HardwareFault
+    report: OutcomeReport
+    #: Number of elements the software fault model perturbed.
+    num_faulty_elements: int
+    #: Largest absolute faulty value written by the fault model.
+    max_abs_faulty: float
+    #: Necessary-condition magnitudes within 2 iterations of the fault.
+    condition_window: dict[str, float]
+    record: ConvergenceRecord | None = None
+
+    @property
+    def outcome(self) -> Outcome:
+        """The classified outcome (Table 3 taxonomy)."""
+        return self.report.outcome
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    workload: str
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    @property
+    def num_experiments(self) -> int:
+        """Number of experiments aggregated in this result."""
+        return len(self.results)
+
+    def breakdown(self) -> dict[str, float]:
+        """Outcome fractions normalized to total experiments (Fig. 3)."""
+        return outcome_breakdown([r.report for r in self.results])
+
+    def unexpected_fraction(self) -> float:
+        """Fraction of experiments with unexpected outcomes."""
+        if not self.results:
+            return 0.0
+        return sum(r.report.is_unexpected for r in self.results) / len(self.results)
+
+    def unexpected_interval(self, confidence: float = 0.99) -> ProportionEstimate:
+        """Wilson interval for the unexpected-outcome fraction."""
+        hits = sum(r.report.is_unexpected for r in self.results)
+        return wilson_interval(hits, max(len(self.results), 1), confidence)
+
+    def by_ff_category(self) -> dict[str, dict[str, float]]:
+        """Unexpected-outcome contribution per FF class (Sec. 4.3.1).
+
+        Categories: "critical_control" (global groups 1 and 3 plus local
+        control FFs), "upper_exponent" (datapath flips in the top two
+        exponent bits), and "other".
+        """
+        def category(result: ExperimentResult) -> str:
+            ff = result.fault.ff
+            if ff.category == "local_control" or (
+                ff.category == "global_control" and ff.group in (1, 3)
+            ):
+                return "critical_control"
+            if ff.category == "datapath" and ff.is_upper_exponent():
+                return "upper_exponent"
+            return "other"
+
+        stats: dict[str, dict[str, float]] = {}
+        total_unexpected = sum(r.report.is_unexpected for r in self.results)
+        for name in ("critical_control", "upper_exponent", "other"):
+            members = [r for r in self.results if category(r) == name]
+            unexpected = sum(r.report.is_unexpected for r in members)
+            stats[name] = {
+                "population_fraction": len(members) / max(len(self.results), 1),
+                "unexpected_share": unexpected / max(total_unexpected, 1),
+                "unexpected_rate": unexpected / max(len(members), 1),
+            }
+        return stats
+
+    def condition_ranges(self) -> dict[str, tuple[float, float]]:
+        """Observed [min, max] necessary-condition magnitudes per latent
+        outcome (the paper's Table 4)."""
+        ranges: dict[str, tuple[float, float]] = {}
+        for result in self.results:
+            outcome = result.outcome
+            if not (outcome.is_latent or outcome == Outcome.SHORT_TERM_INF_NAN):
+                continue
+            if outcome in (Outcome.SLOW_DEGRADE, Outcome.SHARP_SLOW_DEGRADE):
+                value = result.condition_window.get("max_history", 0.0)
+            else:
+                value = result.condition_window.get("max_mvar", 0.0)
+            if value <= 0.0:
+                continue
+            lo, hi = ranges.get(outcome.value, (value, value))
+            ranges[outcome.value] = (min(lo, value), max(hi, value))
+        return ranges
+
+
+class Campaign:
+    """Statistical FI campaign over one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        num_devices: int = 8,
+        seed: int = 0,
+        warmup_iterations: int | None = None,
+        horizon: int | None = None,
+        inject_window: int | None = None,
+        test_every: int = 10,
+        thresholds: ClassifierThresholds | None = None,
+        inventory: FFInventory | None = None,
+        site_kinds: tuple[str, ...] = SITE_KINDS,
+        keep_records: bool = False,
+    ):
+        self.spec = spec
+        self.num_devices = int(num_devices)
+        self.seed = int(seed)
+        self.warmup_iterations = (
+            spec.iterations // 3 if warmup_iterations is None else int(warmup_iterations)
+        )
+        self.horizon = spec.iterations if horizon is None else int(horizon)
+        self.inject_window = (
+            max(self.horizon // 4, 1) if inject_window is None else int(inject_window)
+        )
+        self.test_every = int(test_every)
+        self.thresholds = thresholds or ClassifierThresholds()
+        self.inventory = inventory or FFInventory()
+        self.site_kinds = site_kinds
+        self.keep_records = bool(keep_records)
+        self._snapshot: Checkpoint | None = None
+        self._warmup_record: ConvergenceRecord | None = None
+        self._site_model = None
+        self.reference: ConvergenceRecord | None = None
+
+    # ------------------------------------------------------------------
+    # Baseline preparation
+    # ------------------------------------------------------------------
+    def _new_trainer(self, eval_device: int = 0) -> SyncDataParallelTrainer:
+        return SyncDataParallelTrainer(
+            self.spec,
+            num_devices=self.num_devices,
+            seed=self.seed,
+            test_every=self.test_every,
+            eval_device=eval_device,
+        )
+
+    def prepare(self) -> None:
+        """Train the fault-free baseline and reference (idempotent)."""
+        if self._snapshot is not None:
+            return
+        self._site_model = self.spec.build_model(self.seed)
+        trainer = self._new_trainer()
+        trainer.train(self.warmup_iterations)
+        self._snapshot = Checkpoint.capture(trainer)
+        self._warmup_record = trainer.record
+        # Fault-free reference continuation over the full horizon.
+        trainer.train(self.horizon)
+        self.reference = trainer.record
+
+    # ------------------------------------------------------------------
+    # One experiment
+    # ------------------------------------------------------------------
+    def sample_experiment(self, rng: np.random.Generator) -> HardwareFault:
+        """Sample a fault whose injection falls inside the campaign's
+        injection window (post-warmup)."""
+        self.prepare()
+        fault = sample_fault(
+            self._site_model, rng,
+            max_iteration=self.inject_window,
+            num_devices=self.num_devices,
+            inventory=self.inventory,
+            kinds=self.site_kinds,
+        )
+        fault.iteration += self.warmup_iterations
+        return fault
+
+    def run_experiment(self, fault: HardwareFault) -> ExperimentResult:
+        """Restore the baseline, inject, train to the horizon, classify."""
+        self.prepare()
+        trainer = self._new_trainer(eval_device=fault.device)
+        self._snapshot.restore(trainer)
+        injector = FaultInjector(fault)
+        tracer = PropagationTracer()
+        trainer.add_hook(injector)
+        trainer.add_hook(tracer)
+        remaining = self.warmup_iterations + self.horizon - trainer.iteration
+        trainer.train(remaining)
+        report = classify_outcome(
+            trainer.record, self.reference, fault.iteration, self.thresholds
+        )
+        record = injector.record
+        return ExperimentResult(
+            fault=fault,
+            report=report,
+            num_faulty_elements=record.num_faulty if record else 0,
+            max_abs_faulty=record.max_abs_faulty() if record else 0.0,
+            condition_window=tracer.condition_magnitude_in_window(fault.iteration),
+            record=trainer.record if self.keep_records else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Full campaign
+    # ------------------------------------------------------------------
+    def run(self, num_experiments: int, seed: int = 1234) -> CampaignResult:
+        """Run ``num_experiments`` seeded experiments and aggregate."""
+        rng = np.random.default_rng(seed)
+        result = CampaignResult(workload=self.spec.name)
+        for _ in range(int(num_experiments)):
+            fault = self.sample_experiment(rng)
+            result.results.append(self.run_experiment(fault))
+        return result
+
+
+class InferenceCampaign:
+    """Fault injection into *inference* of a trained model (Table 5).
+
+    Each experiment injects one fault into one forward-pass op site during
+    a batched prediction and reports whether any prediction changed (an
+    SDC).  Contrasts with training: here there is no recovery mechanism,
+    so control faults that flip many outputs almost always change the
+    prediction.
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, train_iterations: int | None = None,
+                 num_devices: int = 4):
+        self.spec = spec
+        self.seed = int(seed)
+        trainer = SyncDataParallelTrainer(spec, num_devices=num_devices, seed=seed,
+                                          test_every=0)
+        trainer.train(train_iterations or spec.iterations)
+        self.model = trainer.master
+        self.inventory = FFInventory()
+
+    def run(self, num_experiments: int, seed: int = 99, batch: int = 32) -> dict[str, float]:
+        rng = np.random.default_rng(seed)
+        x = self.spec.test_data.inputs[:batch]
+        self.model.eval()
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            golden = self.model.forward(x)
+        golden_pred = np.argmax(np.nan_to_num(golden, nan=-np.inf), axis=-1)
+        sdc = 0
+        nonfinite = 0
+        for _ in range(int(num_experiments)):
+            fault = sample_fault(self.model, rng, max_iteration=1, num_devices=1,
+                                 inventory=self.inventory, kinds=("forward",))
+            injector = FaultInjector(fault)
+            modules = dict(self.model.named_modules())
+            module = modules[fault.site.module_name]
+            module.set_fault_hook("forward", injector._fault_hook)
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                faulty = self.model.forward(x)
+            module.set_fault_hook("forward", None)
+            if not np.all(np.isfinite(faulty)):
+                nonfinite += 1
+            pred = np.argmax(np.nan_to_num(faulty, nan=-np.inf), axis=-1)
+            if np.any(pred != golden_pred):
+                sdc += 1
+        self.model.train()
+        n = max(int(num_experiments), 1)
+        return {"sdc_rate": sdc / n, "nonfinite_rate": nonfinite / n}

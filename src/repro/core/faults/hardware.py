@@ -1,0 +1,123 @@
+"""Hardware fault model: single-cycle, single-FF bit flips (Sec. 3.2.1).
+
+Each fault-injection experiment follows the paper's protocol (Sec. 3.3):
+
+1. randomly select an FF and a cycle — here: sample an
+   :class:`~repro.accelerator.ffs.FFDescriptor` from the inventory, a
+   training iteration, a device, and an *op site* (a layer operation in
+   the forward or backward pass);
+2-3. use the matching software fault model to compute the faulty output
+   elements and their values;
+4. continue training and observe the outcome.
+
+This module defines the experiment descriptor (:class:`HardwareFault`)
+and op-site enumeration over a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.ffs import FFDescriptor, FFInventory
+from repro.nn import (
+    LSTM,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Embedding,
+    LayerNorm,
+    Module,
+    MultiHeadSelfAttention,
+)
+
+#: Module types whose operations are injectable op sites.  These are the
+#: layers that occupy the accelerator's MAC and element-wise datapaths.
+INJECTABLE_TYPES = (Conv2D, Dense, BatchNorm, LayerNorm, Embedding, LSTM,
+                    MultiHeadSelfAttention)
+
+#: Op-site kinds: the forward output and the two backward-pass products
+#: (Table 1's Layer_Output roles across the two passes).
+FORWARD = "forward"
+WEIGHT_GRAD = "weight_grad"
+INPUT_GRAD = "input_grad"
+SITE_KINDS = (FORWARD, WEIGHT_GRAD, INPUT_GRAD)
+
+
+@dataclass(frozen=True)
+class OpSite:
+    """One injectable operation: a module (by qualified name) and a kind."""
+
+    module_name: str
+    kind: str
+
+    @property
+    def in_backward_pass(self) -> bool:
+        """True for weight-gradient and input-gradient op sites."""
+        return self.kind != FORWARD
+
+
+@dataclass
+class HardwareFault:
+    """A fully specified fault-injection experiment."""
+
+    ff: FFDescriptor
+    site: OpSite
+    iteration: int
+    device: int
+    seed: int
+
+    def describe(self) -> dict:
+        """Flat summary of the experiment (for logs and reports)."""
+        return {
+            "ff_category": self.ff.category,
+            "ff_group": self.ff.group,
+            "ff_bit": self.ff.bit,
+            "site": f"{self.site.module_name}:{self.site.kind}",
+            "iteration": self.iteration,
+            "device": self.device,
+            "seed": self.seed,
+        }
+
+
+def enumerate_sites(model: Module, kinds: tuple[str, ...] = SITE_KINDS) -> list[OpSite]:
+    """All injectable op sites of a model.
+
+    ``weight_grad`` sites are only listed for modules with parameters;
+    ``input_grad`` is skipped for Embedding (tokens have no gradient).
+    """
+    sites: list[OpSite] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, INJECTABLE_TYPES):
+            continue
+        for kind in kinds:
+            if kind == WEIGHT_GRAD and not any(True for _ in module._params):
+                continue
+            if kind == INPUT_GRAD and isinstance(module, Embedding):
+                continue
+            sites.append(OpSite(name, kind))
+    if not sites:
+        raise ValueError("model has no injectable op sites")
+    return sites
+
+
+def sample_fault(
+    model: Module,
+    rng: np.random.Generator,
+    max_iteration: int,
+    num_devices: int,
+    inventory: FFInventory | None = None,
+    kinds: tuple[str, ...] = SITE_KINDS,
+) -> HardwareFault:
+    """Draw one random experiment per the paper's step (1)."""
+    inventory = inventory or FFInventory()
+    sites = enumerate_sites(model, kinds)
+    site = sites[int(rng.integers(0, len(sites)))]
+    return HardwareFault(
+        ff=inventory.sample(rng),
+        site=site,
+        iteration=int(rng.integers(0, max_iteration)),
+        device=int(rng.integers(0, num_devices)),
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )

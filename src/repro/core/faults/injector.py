@@ -1,0 +1,118 @@
+"""Fault injection engine: attaches a software fault to one op site of
+one device's replica at one training iteration.
+
+The injector is a trainer hook (see
+:class:`repro.distributed.sync.SyncDataParallelTrainer`): it arms the
+target module's fault hook at the start of the chosen iteration, the hook
+fires exactly once (first matching op execution on the chosen device),
+and everything is disarmed at the end of the iteration.  The resulting
+:class:`~repro.core.faults.software_models.FaultRecord` is kept for
+analysis (faulty element counts/positions/values — Table 4's ranges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.core.faults.hardware import HardwareFault
+from repro.core.faults.software_models import (
+    FaultRecord,
+    Group7ZeroInput1,
+    model_for_ff,
+)
+
+
+class FaultInjector:
+    """One-shot fault injection at a specific (iteration, device, site)."""
+
+    def __init__(self, fault: HardwareFault, config: AcceleratorConfig = DEFAULT_CONFIG):
+        self.fault = fault
+        self.config = config
+        self.record: FaultRecord | None = None
+        self._rng = np.random.default_rng(fault.seed)
+        self._armed_module = None
+        self.fired = False
+
+    # ------------------------------------------------------------------
+    # The hook that perturbs the tensor
+    # ------------------------------------------------------------------
+    def _fault_hook(self, tensor: np.ndarray, info: dict) -> np.ndarray:
+        if self.fired:
+            return tensor
+        self.fired = True
+        model = model_for_ff(self.fault.ff, self.config)
+        if isinstance(model, Group7ZeroInput1):
+            fan_in = getattr(info.get("module"), "fan_in", None)
+            faulty, record = model.apply(tensor, self._rng, self.fault.ff, fan_in=fan_in)
+        else:
+            faulty, record = model.apply(tensor, self._rng, self.fault.ff)
+        self.record = record
+        return faulty
+
+    # ------------------------------------------------------------------
+    # Trainer hook interface
+    # ------------------------------------------------------------------
+    def before_iteration(self, trainer, iteration: int) -> None:
+        """Trainer hook: arm the fault hook at the target iteration."""
+        if iteration != self.fault.iteration:
+            return
+        if self.fault.device >= trainer.num_devices:
+            raise ValueError(
+                f"fault targets device {self.fault.device} but trainer has "
+                f"{trainer.num_devices} devices"
+            )
+        replica = trainer.replicas[self.fault.device]
+        modules = dict(replica.named_modules())
+        try:
+            module = modules[self.fault.site.module_name]
+        except KeyError:
+            raise KeyError(
+                f"op site {self.fault.site.module_name!r} not found in model; "
+                f"available: {sorted(modules)[:10]}..."
+            ) from None
+        module.set_fault_hook(self.fault.site.kind, self._fault_hook)
+        self._armed_module = module
+
+    def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
+        """Trainer hook: disarm after the iteration completes."""
+        if self._armed_module is not None:
+            self._armed_module.set_fault_hook(self.fault.site.kind, None)
+            self._armed_module = None
+
+
+class UpdateFaultInjector:
+    """Injects a fault into the optimizer's weight-update operation.
+
+    Models the Sec. 4.2.2 case: with SGD, large faulty weights can only be
+    created "if a fault occurs during the weight update operation (i.e.,
+    the operation that adds gradients to current weight values)".  The
+    hook perturbs one parameter's update tensor with the sampled fault
+    model, once.
+    """
+
+    def __init__(self, fault: HardwareFault, config: AcceleratorConfig = DEFAULT_CONFIG):
+        self.fault = fault
+        self.config = config
+        self.record: FaultRecord | None = None
+        self._rng = np.random.default_rng(fault.seed)
+        self.fired = False
+        self._target_index: int | None = None
+
+    def _update_hook(self, update: np.ndarray, info: dict) -> np.ndarray:
+        if self.fired or info["index"] != self._target_index:
+            return update
+        self.fired = True
+        model = model_for_ff(self.fault.ff, self.config)
+        faulty, record = model.apply(update, self._rng, self.fault.ff)
+        self.record = record
+        return faulty
+
+    def before_iteration(self, trainer, iteration: int) -> None:
+        if iteration == self.fault.iteration:
+            self._target_index = int(self._rng.integers(0, len(trainer.optimizer.params)))
+            trainer.optimizer.set_update_hook(self._update_hook)
+
+    def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
+        if iteration == self.fault.iteration:
+            trainer.optimizer.set_update_hook(None)

@@ -1,0 +1,102 @@
+"""Multiple-fault experiments (Sec. 4.3.2 of the paper).
+
+The paper argues its necessary conditions extend to multiple hardware
+failures: at the reported datacenter failure rates, failures during one
+training run "are expected to occur far enough apart such that their
+effects are largely independent".  This module provides the machinery to
+test that claim directly: a :class:`MultiFaultInjector` arms several
+independent one-shot faults, and :func:`expected_faults_per_run` computes
+how many failures a training run of a given length would see under a
+given per-device failure rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.config import DEFAULT_CONFIG, AcceleratorConfig
+from repro.core.faults.hardware import HardwareFault
+from repro.core.faults.injector import FaultInjector
+
+
+class MultiFaultInjector:
+    """Injects several independent transient faults during one run.
+
+    Each fault gets its own one-shot :class:`FaultInjector`; they may
+    target different iterations, devices, and op sites.  Faults at the
+    same iteration are legal (the paper's worst case of coinciding
+    failures).
+    """
+
+    def __init__(self, faults: list[HardwareFault],
+                 config: AcceleratorConfig = DEFAULT_CONFIG):
+        if not faults:
+            raise ValueError("need at least one fault")
+        self.injectors = [FaultInjector(fault, config) for fault in faults]
+
+    @property
+    def records(self):
+        """Fault records of the injectors that fired, in fault order."""
+        return [inj.record for inj in self.injectors if inj.record is not None]
+
+    @property
+    def fired_count(self) -> int:
+        """Number of faults that have fired so far."""
+        return sum(inj.fired for inj in self.injectors)
+
+    # Trainer hook interface: fan out to every injector.
+    def before_iteration(self, trainer, iteration: int) -> None:
+        """Trainer hook: fan out to every per-fault injector."""
+        for injector in self.injectors:
+            injector.before_iteration(trainer, iteration)
+
+    def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
+        """Trainer hook: fan out the disarm step."""
+        for injector in self.injectors:
+            injector.after_iteration(trainer, iteration, loss, acc)
+
+
+def expected_faults_per_run(
+    iterations: int,
+    seconds_per_iteration: float,
+    num_devices: int,
+    failures_per_device_hour: float = 1e-4,
+) -> float:
+    """Expected hardware failures during one training run.
+
+    The paper's framing: at reported rates ("a few cores per several
+    thousand server machines"), mid-sized DNN training runs see at most
+    one failure; only very long runs on many devices see several — and
+    those are far apart.
+    """
+    if min(iterations, num_devices) <= 0 or seconds_per_iteration <= 0:
+        raise ValueError("iterations, devices, and iteration time must be positive")
+    hours = iterations * seconds_per_iteration / 3600.0
+    return hours * num_devices * failures_per_device_hour
+
+
+def sample_spread_faults(
+    base_fault_sampler,
+    rng: np.random.Generator,
+    count: int,
+    total_iterations: int,
+    min_separation: int | None = None,
+) -> list[HardwareFault]:
+    """Sample ``count`` faults with iteration spacing.
+
+    ``base_fault_sampler(rng) -> HardwareFault`` provides the FF/site
+    draws; this helper re-draws the iterations so consecutive faults are
+    at least ``min_separation`` apart (default: total/count/2 — "far
+    enough apart such that their effects are largely independent").
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    separation = (total_iterations // (2 * count)) if min_separation is None else min_separation
+    faults = []
+    iteration = int(rng.integers(0, max(total_iterations // count, 1)))
+    for _ in range(count):
+        fault = base_fault_sampler(rng)
+        fault.iteration = min(iteration, total_iterations - 1)
+        faults.append(fault)
+        iteration += separation + int(rng.integers(0, max(separation, 1)))
+    return faults

@@ -1,0 +1,141 @@
+"""JSON serialization for fault descriptors and campaign results.
+
+Campaigns at paper scale run for node-years; results must be stored and
+merged across machines.  This module round-trips
+:class:`HardwareFault` / :class:`ExperimentResult` / :class:`CampaignResult`
+through plain JSON (no pickle — results may be exchanged between
+untrusted machines).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.accelerator.ffs import FFDescriptor
+from repro.core.analysis.classify import Outcome, OutcomeReport
+from repro.core.faults.campaign import CampaignResult, ExperimentResult
+from repro.core.faults.hardware import HardwareFault, OpSite
+
+
+def _json_safe(value):
+    """Map inf/NaN to strings (JSON has no literals for them)."""
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "nan"
+        if np.isinf(value):
+            return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _from_json_number(value):
+    if value == "nan":
+        return float("nan")
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Fault descriptors
+# ----------------------------------------------------------------------
+def fault_to_dict(fault: HardwareFault) -> dict:
+    return {
+        "ff": {
+            "category": fault.ff.category,
+            "group": fault.ff.group,
+            "bit": fault.ff.bit,
+            "has_feedback": fault.ff.has_feedback,
+        },
+        "site": {"module_name": fault.site.module_name, "kind": fault.site.kind},
+        "iteration": fault.iteration,
+        "device": fault.device,
+        "seed": fault.seed,
+    }
+
+
+def fault_from_dict(data: dict) -> HardwareFault:
+    ff = FFDescriptor(
+        category=data["ff"]["category"],
+        group=data["ff"]["group"],
+        bit=data["ff"]["bit"],
+        has_feedback=bool(data["ff"]["has_feedback"]),
+    )
+    site = OpSite(data["site"]["module_name"], data["site"]["kind"])
+    return HardwareFault(ff=ff, site=site, iteration=int(data["iteration"]),
+                         device=int(data["device"]), seed=int(data["seed"]))
+
+
+# ----------------------------------------------------------------------
+# Experiment and campaign results
+# ----------------------------------------------------------------------
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "fault": fault_to_dict(result.fault),
+        "outcome": result.outcome.value,
+        "final_train_delta": _json_safe(result.report.final_train_delta),
+        "final_test_delta": _json_safe(result.report.final_test_delta),
+        "sharp_drop": result.report.sharp_drop_at_injection,
+        "num_faulty_elements": result.num_faulty_elements,
+        "max_abs_faulty": _json_safe(result.max_abs_faulty),
+        "condition_window": {k: _json_safe(v)
+                             for k, v in result.condition_window.items()},
+    }
+
+
+def experiment_from_dict(data: dict) -> ExperimentResult:
+    report = OutcomeReport(
+        outcome=Outcome(data["outcome"]),
+        injection_iteration=int(data["fault"]["iteration"]),
+        final_train_delta=_from_json_number(data["final_train_delta"]),
+        final_test_delta=_from_json_number(data["final_test_delta"]),
+        sharp_drop_at_injection=bool(data["sharp_drop"]),
+        details={},
+    )
+    return ExperimentResult(
+        fault=fault_from_dict(data["fault"]),
+        report=report,
+        num_faulty_elements=int(data["num_faulty_elements"]),
+        max_abs_faulty=_from_json_number(data["max_abs_faulty"]),
+        condition_window={k: _from_json_number(v)
+                          for k, v in data["condition_window"].items()},
+    )
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    return {
+        "workload": result.workload,
+        "results": [experiment_to_dict(r) for r in result.results],
+    }
+
+
+def campaign_from_dict(data: dict) -> CampaignResult:
+    return CampaignResult(
+        workload=data["workload"],
+        results=[experiment_from_dict(r) for r in data["results"]],
+    )
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(campaign_to_dict(result), indent=1))
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    return campaign_from_dict(json.loads(Path(path).read_text()))
+
+
+def merge_campaigns(results: list[CampaignResult]) -> CampaignResult:
+    """Merge same-workload campaign shards (distributed execution)."""
+    if not results:
+        raise ValueError("nothing to merge")
+    workloads = {r.workload for r in results}
+    if len(workloads) != 1:
+        raise ValueError(f"cannot merge different workloads: {sorted(workloads)}")
+    merged = CampaignResult(workload=results[0].workload)
+    for result in results:
+        merged.results.extend(result.results)
+    return merged

@@ -1,0 +1,30 @@
+"""Mitigation: Algorithm 1 bounds, detection, recovery, baselines."""
+
+from repro.core.mitigation.bounds import (
+    SIGMA_MULTIPLIER,
+    DetectionBounds,
+    derive_bounds_for_trainer,
+    derive_history_bound,
+    derive_mvar_bound,
+)
+from repro.core.mitigation.detector import DetectionEvent, HardwareFailureDetector
+from repro.core.mitigation.recovery import (
+    REEXECUTE_ITERATIONS,
+    MitigationHook,
+    RecoveryError,
+    RecoveryManager,
+)
+
+__all__ = [
+    "REEXECUTE_ITERATIONS",
+    "SIGMA_MULTIPLIER",
+    "DetectionBounds",
+    "DetectionEvent",
+    "HardwareFailureDetector",
+    "MitigationHook",
+    "RecoveryError",
+    "RecoveryManager",
+    "derive_bounds_for_trainer",
+    "derive_history_bound",
+    "derive_mvar_bound",
+]

@@ -1,0 +1,19 @@
+"""Baseline mitigation techniques compared against in Sec. 5.3 / Sec. 6."""
+
+from repro.core.mitigation.baselines.abft import ABFTChecker, ABFTViolation
+from repro.core.mitigation.baselines.checkpointing import (
+    CheckpointRecovery,
+    CheckpointRecoveryCost,
+)
+from repro.core.mitigation.baselines.clipping import GradientClipper
+from repro.core.mitigation.baselines.ranger import RangerGuard, RangeViolation
+
+__all__ = [
+    "ABFTChecker",
+    "ABFTViolation",
+    "CheckpointRecovery",
+    "CheckpointRecoveryCost",
+    "GradientClipper",
+    "RangeViolation",
+    "RangerGuard",
+]

@@ -1,0 +1,53 @@
+"""Gradient clipping baseline (Sec. 6).
+
+Gradient clipping bounds gradient magnitudes before the optimizer step.
+The paper's point: clipping "cannot be used to mitigate all unexpected
+training outcomes caused by hardware failures, because hardware failures
+can perturb gradient history / mvar values without affecting gradient
+values" — e.g. a fault injected directly into a weight-gradient tensor is
+clipped, but a fault that lands in the forward pass and inflates mvar, or
+one that strikes the optimizer's update operation, is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GradientClipper:
+    """Trainer hook clipping the global gradient norm before the step.
+
+    Also counts how often clipping engaged, so benches can report both
+    the protective effect and the interference with normal training.
+    """
+
+    def __init__(self, max_norm: float = 5.0):
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive: {max_norm}")
+        self.max_norm = float(max_norm)
+        self.clip_events: list[int] = []
+
+    def after_backward(self, trainer, iteration: int) -> None:
+        params = list(trainer.master.parameters())
+        with np.errstate(over="ignore", invalid="ignore"):
+            total = 0.0
+            for param in params:
+                total += float(np.sum(param.grad.astype(np.float64) ** 2))
+            norm = float(np.sqrt(total))
+        if not np.isfinite(norm):
+            # Non-finite gradients: zero them (the strongest clip) and
+            # record the event — clipping has no better option here.
+            for param in params:
+                param.grad = np.nan_to_num(param.grad, nan=0.0, posinf=0.0, neginf=0.0)
+            total = sum(float(np.sum(p.grad.astype(np.float64) ** 2)) for p in params)
+            norm = float(np.sqrt(total))
+        if norm > self.max_norm:
+            scale = self.max_norm / (norm + 1e-12)
+            for param in params:
+                param.grad = (param.grad * scale).astype(np.float32)
+            self.clip_events.append(iteration)
+
+    @property
+    def fired(self) -> bool:
+        """True once clipping has engaged at least once."""
+        return bool(self.clip_events)

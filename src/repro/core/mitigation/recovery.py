@@ -1,0 +1,250 @@
+"""Light-weight recovery by two-iteration re-execution (Sec. 5.2).
+
+When the detector fires (at most two iterations after the hardware
+failure, per the necessary conditions), the recovery manager rewinds the
+trainer to the state it had two iterations earlier and lets training
+re-execute those iterations.  Because the fault was transient, the
+re-execution is clean; because the data loader and all random draws are
+addressed by iteration index, the replayed iterations see exactly the
+same mini-batches and random masks (requirements (2) and (3) of
+Sec. 5.2).
+
+Two interchangeable rewind strategies, both exercised by tests/benches:
+
+* ``"snapshot"`` (default) — keep a rolling ring of the last few
+  pre-iteration state snapshots; rewind restores one.  Bit-exact.
+* ``"arithmetic"`` — the paper's formulation: store the applied updates
+  and gradients of the last two iterations and *invert* the optimizer
+  recurrences (``w_{t-1} = w_t + u_t``; for Adam,
+  ``m_{t-1} = (m_t - (1-b1) g_t)/b1`` etc.).  Cheaper in bookkeeping,
+  exact up to float rounding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.optim.adam import Adam, RMSProp
+from repro.optim.sgd import SGD
+from repro.training.checkpoints import Checkpoint
+
+#: Number of most-recent iterations re-executed on detection (Sec. 5.2).
+REEXECUTE_ITERATIONS = 2
+
+
+class RecoveryError(RuntimeError):
+    """Raised when a rewind cannot be performed (e.g. no history yet)."""
+
+
+class RecoveryManager:
+    """Trainer hook maintaining rewind state and performing recovery."""
+
+    def __init__(self, strategy: str = "snapshot", depth: int = REEXECUTE_ITERATIONS,
+                 max_recoveries: int = 8):
+        if strategy not in ("snapshot", "arithmetic"):
+            raise ValueError(f"unknown recovery strategy: {strategy!r}")
+        self.strategy = strategy
+        self.depth = int(depth)
+        self.max_recoveries = int(max_recoveries)
+        self.recoveries = 0
+        # snapshot strategy: iteration -> pre-iteration Checkpoint.
+        self._snapshots: deque[Checkpoint] = deque(maxlen=self.depth + 1)
+        # arithmetic strategy: per-iteration inversion records.
+        self._steps: deque[dict] = deque(maxlen=self.depth + 1)
+        self._capture_hooked = False
+
+    # ------------------------------------------------------------------
+    # State capture (hook: before every iteration)
+    # ------------------------------------------------------------------
+    def before_iteration(self, trainer, iteration: int) -> None:
+        if self.strategy == "snapshot":
+            self._snapshots.append(Checkpoint.capture(trainer))
+        else:
+            self._arm_arithmetic_capture(trainer, iteration)
+
+    def _arm_arithmetic_capture(self, trainer, iteration: int) -> None:
+        """Record gradients, applied updates, and the small history state
+        (BatchNorm moving stats) needed to invert this iteration."""
+        entry: dict = {
+            "iteration": iteration,
+            "grads": None,
+            "updates": [],
+            "bn_states": [
+                {name: module.extra_state()
+                 for name, module in replica.named_modules()
+                 if module.extra_state()}
+                for replica in trainer.replicas
+            ],
+        }
+        self._steps.append(entry)
+        previous_hook = trainer.optimizer._update_hook
+
+        def capture_hook(update: np.ndarray, info: dict) -> np.ndarray:
+            if previous_hook is not None:
+                update = previous_hook(update, info)
+            entry["updates"].append(np.array(update, copy=True))
+            if entry["grads"] is None:
+                entry["grads"] = []
+            return update
+
+        trainer.optimizer.set_update_hook(capture_hook)
+        self._pending_entry = entry
+        self._previous_hook = previous_hook
+
+    def after_step(self, trainer, iteration: int) -> None:
+        if self.strategy == "arithmetic" and self._steps:
+            entry = self._steps[-1]
+            if entry["iteration"] == iteration and entry["grads"] is not None:
+                entry["grads"] = [np.array(p.grad, copy=True)
+                                  for p in trainer.optimizer.params]
+                trainer.optimizer.set_update_hook(self._previous_hook)
+
+    # ------------------------------------------------------------------
+    # Rewind
+    # ------------------------------------------------------------------
+    def rewind(self, trainer, iterations: int = REEXECUTE_ITERATIONS,
+               detected_at: int | None = None) -> int:
+        """Rewind so the ``iterations`` most recent iterations re-execute.
+
+        ``detected_at`` is the iteration at which detection fired (the
+        iteration currently completing); training resumes from
+        ``detected_at + 1 - iterations``.  If the manager was attached too
+        recently to hold state that far back, it rewinds as far as it can
+        (the oldest captured state), which still precedes the fault when
+        detection latency is within the capture depth.
+        """
+        if self.recoveries >= self.max_recoveries:
+            raise RecoveryError(
+                f"recovery limit reached ({self.max_recoveries}); the failure "
+                "appears persistent — decommission the accelerator"
+            )
+        at = trainer.iteration if detected_at is None else int(detected_at)
+        ideal = max(at + 1 - iterations, 0)
+        if self.strategy == "snapshot":
+            target = self._rewind_snapshot(trainer, ideal)
+        else:
+            target = self._rewind_arithmetic(trainer, ideal)
+        trainer.record.truncate_to(target)
+        trainer.record.recoveries.append(target)
+        self.recoveries += 1
+        return target
+
+    def _rewind_snapshot(self, trainer, ideal: int) -> int:
+        if not self._snapshots:
+            raise RecoveryError("no snapshots captured yet; cannot rewind")
+        at_or_before = [s for s in self._snapshots if s.iteration <= ideal]
+        snapshot = max(at_or_before, key=lambda s: s.iteration) if at_or_before else min(
+            self._snapshots, key=lambda s: s.iteration
+        )
+        snapshot.restore(trainer)
+        while self._snapshots and self._snapshots[-1].iteration > snapshot.iteration:
+            self._snapshots.pop()
+        return snapshot.iteration
+
+    def _rewind_arithmetic(self, trainer, ideal: int) -> int:
+        if not self._steps:
+            raise RecoveryError("no step history captured yet; cannot rewind")
+        oldest = min(s["iteration"] for s in self._steps)
+        target = max(ideal, oldest)
+        steps = [s for s in self._steps if s["iteration"] >= target]
+        optimizer = trainer.optimizer
+        for entry in sorted(steps, key=lambda s: -s["iteration"]):
+            self._invert_step(optimizer, entry)
+            # Restore the small module state (BatchNorm moving statistics)
+            # captured before the iteration ran.
+            for replica, states in zip(trainer.replicas, entry["bn_states"]):
+                modules = dict(replica.named_modules())
+                for name, state in states.items():
+                    modules[name].load_extra_state(
+                        {k: np.array(v, copy=True) for k, v in state.items()}
+                    )
+            self._steps.remove(entry)
+        # Float32 overflow is not invertible: if the corrupted state
+        # saturated to inf (e.g. Adam's v after squaring a huge faulty
+        # gradient), the pre-fault value is destroyed and (inf - x)/beta
+        # yields inf/NaN.  Surface this instead of resuming from garbage —
+        # the snapshot strategy handles these cases.
+        for param in optimizer.params:
+            if not np.all(np.isfinite(param.data)):
+                raise RecoveryError(
+                    "arithmetic rewind produced non-finite weights: the "
+                    "corrupted state overflowed and is not invertible; use "
+                    "the snapshot recovery strategy"
+                )
+        for slots in optimizer._slot_arrays().values():
+            for arr in slots:
+                if not np.all(np.isfinite(arr)):
+                    raise RecoveryError(
+                        "arithmetic rewind produced non-finite optimizer "
+                        "state: the corrupted state overflowed and is not "
+                        "invertible; use the snapshot recovery strategy"
+                    )
+        trainer.iteration = target
+        trainer._broadcast_weights()
+        return target
+
+    @staticmethod
+    def _invert_step(optimizer, entry: dict) -> None:
+        """Undo one optimizer step from its recorded updates/gradients."""
+        updates, grads = entry["updates"], entry["grads"]
+        if updates is None or grads is None or len(updates) != len(optimizer.params):
+            raise RecoveryError("incomplete step record; cannot invert")
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for i, param in enumerate(optimizer.params):
+                param.data = (param.data + updates[i]).astype(np.float32)
+            if isinstance(optimizer, Adam):
+                b1, b2 = optimizer.beta1, optimizer.beta2
+                for i, g in enumerate(grads):
+                    optimizer.m[i] = ((optimizer.m[i] - (1 - b1) * g) / b1).astype(np.float32)
+                    # Catastrophic cancellation can push the inverted second
+                    # moment slightly negative (v is a sum of squares, so
+                    # its true value is non-negative); clamp to the
+                    # physical domain or the next sqrt(v) would be NaN.
+                    inverted_v = (optimizer.v[i] - (1 - b2) * g * g) / b2
+                    optimizer.v[i] = np.maximum(inverted_v, 0.0).astype(np.float32)
+            elif isinstance(optimizer, SGD) and optimizer.momentum > 0:
+                mu = optimizer.momentum
+                for i, g in enumerate(grads):
+                    optimizer.velocity[i] = ((optimizer.velocity[i] - g) / mu).astype(
+                        np.float32
+                    )
+            elif isinstance(optimizer, RMSProp):
+                rho = optimizer.rho
+                for i, g in enumerate(grads):
+                    inverted_sq = (optimizer.sq[i] - (1 - rho) * g * g) / rho
+                    optimizer.sq[i] = np.maximum(inverted_sq, 0.0).astype(np.float32)
+        optimizer.iteration -= 1
+
+
+class MitigationHook:
+    """Detector + recovery wired together: the deployable technique.
+
+    On a detection event, rewinds two iterations and lets the training
+    loop re-execute them.  The transient fault does not recur, the
+    re-executed iterations are clean, and training continues — total cost
+    is two re-executed iterations plus the per-iteration bound checks.
+    """
+
+    def __init__(self, detector, recovery: RecoveryManager | None = None):
+        self.detector = detector
+        self.recovery = recovery or RecoveryManager()
+
+    def before_iteration(self, trainer, iteration: int) -> None:
+        self.recovery.before_iteration(trainer, iteration)
+
+    def after_step(self, trainer, iteration: int) -> None:
+        self.recovery.after_step(trainer, iteration)
+        self.detector.after_step(trainer, iteration)
+
+    def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
+        """Trainer hook: on detection, rewind and resume cleanly."""
+        if not self.detector._fired_this_iteration:
+            return
+        resume = self.recovery.rewind(trainer, detected_at=iteration)
+        # The training loop increments ``iteration`` after this hook; land
+        # exactly on the resume point and tell the loop the non-finite
+        # loss of the rolled-back iteration no longer applies.
+        trainer.iteration = resume - 1
+        trainer.signal_recovered()

@@ -1,0 +1,19 @@
+"""Synthetic datasets and the replayable mini-batch loader."""
+
+from repro.data.detection import detection_cell_accuracy, make_detection_dataset
+from repro.data.loader import BatchLoader
+from repro.data.maze import make_maze_dataset
+from repro.data.synthetic import Dataset, make_image_classification, train_test_split
+from repro.data.translation import PAD_ID, make_translation_dataset
+
+__all__ = [
+    "PAD_ID",
+    "BatchLoader",
+    "Dataset",
+    "detection_cell_accuracy",
+    "make_detection_dataset",
+    "make_image_classification",
+    "make_maze_dataset",
+    "make_translation_dataset",
+    "train_test_split",
+]

@@ -1,0 +1,73 @@
+"""Toy object-detection dataset (VOC12 stand-in for the YOLO workload).
+
+Each image contains one bright rectangular object of a class-specific
+texture on a noisy background.  Targets are dense YOLO-style grids:
+per cell, (tx, ty, tw, th, objectness, one-hot class) — matching the
+layout consumed by :class:`repro.nn.losses.DetectionLoss`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+
+
+def make_detection_dataset(
+    num_samples: int = 256,
+    num_classes: int = 4,
+    image_size: int = 16,
+    grid_size: int = 4,
+    channels: int = 3,
+    seed: int = 0,
+) -> Dataset:
+    """Generate images with a single object and dense grid targets.
+
+    Target shape: (N, 5 + num_classes, grid, grid).
+    """
+    rng = np.random.default_rng(seed)
+    cell = image_size // grid_size
+    images = rng.normal(0.0, 0.3, size=(num_samples, channels, image_size, image_size))
+    targets = np.zeros((num_samples, 5 + num_classes, grid_size, grid_size), dtype=np.float32)
+    # Class-specific channel intensity signatures.
+    signatures = rng.uniform(0.8, 2.0, size=(num_classes, channels))
+    signatures[:, rng.integers(0, channels)] *= -1.0
+    labels = rng.integers(0, num_classes, size=num_samples)
+    for i, label in enumerate(labels):
+        w = int(rng.integers(3, max(image_size // 2, 4)))
+        h = int(rng.integers(3, max(image_size // 2, 4)))
+        x0 = int(rng.integers(0, image_size - w))
+        y0 = int(rng.integers(0, image_size - h))
+        for c in range(channels):
+            images[i, c, y0 : y0 + h, x0 : x0 + w] += signatures[label, c]
+        cx, cy = x0 + w / 2.0, y0 + h / 2.0
+        gx, gy = min(int(cx // cell), grid_size - 1), min(int(cy // cell), grid_size - 1)
+        targets[i, 0, gy, gx] = cx / cell - gx  # tx in [0, 1)
+        targets[i, 1, gy, gx] = cy / cell - gy  # ty
+        targets[i, 2, gy, gx] = np.log(w / cell)  # tw
+        targets[i, 3, gy, gx] = np.log(h / cell)  # th
+        targets[i, 4, gy, gx] = 1.0  # objectness
+        targets[i, 5 + label, gy, gx] = 1.0
+    images -= images.mean()
+    images /= max(images.std(), 1e-8)
+    ds = Dataset(images.astype(np.float32), targets, num_classes)
+    ds.labels = labels.astype(np.int64)
+    return ds
+
+
+def detection_cell_accuracy(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of object cells whose objectness and class are both right.
+
+    A cheap detection-quality metric so the YOLO workload reports an
+    "accuracy" comparable to the classification workloads' convergence
+    traces.  NaN predictions never count as correct.
+    """
+    pred = np.nan_to_num(prediction, nan=-1e9)
+    obj_mask = target[:, 4] > 0.5
+    if not np.any(obj_mask):
+        return 0.0
+    pred_obj = pred[:, 4] > 0.0  # logit > 0 means p > 0.5
+    pred_cls = pred[:, 5:].argmax(axis=1)
+    true_cls = target[:, 5:].argmax(axis=1)
+    correct = pred_obj & (pred_cls == true_cls) & obj_mask
+    return float(correct.sum() / obj_mask.sum())

@@ -1,0 +1,39 @@
+"""Toy sequence-transduction dataset (WMT14 EN-DE stand-in).
+
+The Transformer workload needs a sequence-to-sequence task learnable at
+miniature scale.  We use token-wise *reversal with vocabulary shift*: the
+target sequence is the source reversed, with each token mapped through a
+fixed random permutation ("dictionary").  Solving it requires attention
+to long-range positions plus a learned token mapping — structurally a
+translation task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+
+#: Token id reserved for padding in variable-length batches.
+PAD_ID = 0
+
+
+def make_translation_dataset(
+    num_samples: int = 512,
+    vocab_size: int = 24,
+    sequence_length: int = 10,
+    seed: int = 0,
+) -> Dataset:
+    """Generate (source, target) token sequences.
+
+    Inputs are (N, T) int64 source sequences over tokens 1..vocab_size-1
+    (0 is padding, unused here since lengths are fixed); targets are the
+    reversed sequences mapped through a fixed permutation.
+    """
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(vocab_size - 1) + 1  # bijection on 1..V-1
+    sources = rng.integers(1, vocab_size, size=(num_samples, sequence_length))
+    targets = permutation[sources[:, ::-1] - 1]
+    ds = Dataset(sources.astype(np.int64), targets.astype(np.int64), num_classes=vocab_size)
+    ds.permutation = permutation
+    return ds

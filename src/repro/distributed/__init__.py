@@ -1,0 +1,5 @@
+"""Simulated synchronous data-parallel training."""
+
+from repro.distributed.sync import SyncDataParallelTrainer, reseed_random_layers
+
+__all__ = ["SyncDataParallelTrainer", "reseed_random_layers"]

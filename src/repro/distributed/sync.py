@@ -1,0 +1,234 @@
+"""Synchronous data-parallel training over simulated devices.
+
+Models the distributed setting of the paper's experiments (Sec. 2 and
+Sec. 3.3): every device holds a replica of the model, computes gradients
+on its shard of the mini-batch, gradients are averaged by a central
+server, the averaged update is applied, and the weights are broadcast
+back.  Key fidelity points:
+
+* **BatchNorm moving statistics are per-device** — they are never
+  averaged, so a fault that corrupts one device's mvar stays local, which
+  is why LowTestAccuracy manifests on the faulty device (Sec. 4.3.3).
+* **Gradients are averaged across devices** — a faulty gradient
+  contribution is diluted by ``1/num_devices``, the opposing factor the
+  paper discusses for SlowDegrade sensitivity to device count.
+* Faults are injected into exactly one device's replica.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.data.loader import BatchLoader
+from repro.nn.linear import Dropout
+from repro.nn.module import Module
+from repro.nn.normalization import max_moving_variance
+from repro.optim.base import Optimizer
+from repro.training.metrics import ConvergenceRecord
+from repro.workloads.base import WorkloadSpec
+
+
+def reseed_random_layers(model: Module, seed: int) -> None:
+    """Reseed every stochastic layer (currently Dropout) in a model.
+
+    Implements requirement (3) of the paper's recovery technique: random
+    draws must be reproducible when an iteration is re-executed.
+    """
+    for index, module in enumerate(model.modules()):
+        if isinstance(module, Dropout):
+            module.reseed((seed, index))
+
+
+class SyncDataParallelTrainer:
+    """Synchronous data-parallel trainer with per-iteration hook points.
+
+    Hooks are objects implementing any subset of::
+
+        before_iteration(trainer, iteration)
+        after_backward(trainer, iteration)   # grads averaged, pre-update
+        after_step(trainer, iteration)       # post-update, pre-record
+        after_iteration(trainer, iteration, loss, acc)
+
+    The fault injector, the hardware-failure detector, and the recovery
+    manager all attach through this interface.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        num_devices: int = 8,
+        seed: int = 0,
+        test_every: int = 25,
+        eval_device: int = 0,
+        track_conditions: bool = True,
+        stop_on_nonfinite: bool = True,
+        hooks: list | None = None,
+    ):
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1: {num_devices}")
+        self.spec = spec
+        self.num_devices = int(num_devices)
+        self.seed = int(seed)
+        self.test_every = int(test_every)
+        self.eval_device = int(eval_device)
+        self.track_conditions = bool(track_conditions)
+        self.stop_on_nonfinite = bool(stop_on_nonfinite)
+        self.hooks = list(hooks) if hooks else []
+
+        # Identical replicas: same model seed on every device.
+        self.replicas: list[Module] = [spec.build_model(seed) for _ in range(num_devices)]
+        self.master = self.replicas[0]
+        self.optimizer: Optimizer = spec.build_optimizer(list(self.master.parameters()))
+        self.losses = [spec.loss_fn() for _ in range(num_devices)]
+        self.loader = BatchLoader(spec.train_data, spec.batch_size, base_seed=seed)
+        self.record = ConvergenceRecord()
+        self.iteration = 0
+        self._just_recovered = False
+
+    # ------------------------------------------------------------------
+    # Hook dispatch
+    # ------------------------------------------------------------------
+    def add_hook(self, hook) -> None:
+        self.hooks.append(hook)
+
+    def _dispatch(self, event: str, *args) -> None:
+        for hook in self.hooks:
+            fn = getattr(hook, event, None)
+            if fn is not None:
+                fn(self, *args)
+
+    # ------------------------------------------------------------------
+    # Core iteration
+    # ------------------------------------------------------------------
+    def _broadcast_weights(self) -> None:
+        """Copy master parameters into every other replica."""
+        master_params = list(self.master.parameters())
+        for replica in self.replicas[1:]:
+            for p_master, p_replica in zip(master_params, replica.parameters()):
+                np.copyto(p_replica.data, p_master.data)
+
+    def run_iteration(self, iteration: int) -> tuple[float, float]:
+        """Run one synchronous training iteration; returns (loss, acc).
+
+        The returned loss/accuracy are averaged over device shards, as a
+        central parameter server would observe them.
+        """
+        self._dispatch("before_iteration", iteration)
+        master_params = list(self.master.parameters())
+        grad_sums = [np.zeros_like(p.data) for p in master_params]
+        total_loss = 0.0
+        total_acc = 0.0
+        for device in range(self.num_devices):
+            model = self.replicas[device]
+            model.train()
+            reseed_random_layers(model, (self.seed, iteration, device))
+            x, y = self.loader.shard_batch_at(iteration, device, self.num_devices)
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                out = model.forward(x)
+                loss = self.losses[device].forward(out, y)
+                model.zero_grad()
+                model.backward(self.losses[device].backward())
+            total_loss += loss
+            total_acc += self.spec.metric(out, y)
+            for g_sum, param in zip(grad_sums, model.parameters()):
+                with np.errstate(over="ignore", invalid="ignore"):
+                    g_sum += param.grad
+        # Average gradients into the master replica (the "central server").
+        inv = 1.0 / self.num_devices
+        for param, g_sum in zip(master_params, grad_sums):
+            with np.errstate(over="ignore", invalid="ignore"):
+                param.grad = (g_sum * inv).astype(np.float32)
+        self._dispatch("after_backward", iteration)
+        self.optimizer.step()
+        self._dispatch("after_step", iteration)
+        self._broadcast_weights()
+        return total_loss / self.num_devices, total_acc / self.num_devices
+
+    def evaluate(self, device: int | None = None, max_batches: int | None = None) -> float:
+        """Test metric on the chosen device's replica (eval mode).
+
+        Eval mode makes BatchNorm use its *moving* statistics — the path
+        through which a faulty mvar degrades test accuracy while training
+        accuracy (batch statistics) looks normal (LowTestAccuracy).
+        """
+        device = self.eval_device if device is None else device
+        model = self.replicas[device]
+        model.eval()
+        data = self.spec.test_data
+        batch = self.spec.batch_size
+        metrics = []
+        weights = []
+        for start in range(0, len(data), batch):
+            if max_batches is not None and len(metrics) >= max_batches:
+                break
+            x = data.inputs[start : start + batch]
+            y = data.targets[start : start + batch]
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                out = model.forward(x)
+            metrics.append(self.spec.metric(out, y))
+            weights.append(len(x))
+        model.train()
+        if not metrics:
+            return 0.0
+        return float(np.average(metrics, weights=weights))
+
+    # ------------------------------------------------------------------
+    # Condition probes (the quantities the detector bounds)
+    # ------------------------------------------------------------------
+    def history_magnitude(self) -> float:
+        """Largest |optimizer gradient-history| value right now."""
+        return self.optimizer.history_magnitude()
+
+    def mvar_magnitude(self) -> float:
+        """Largest |BatchNorm moving statistic| across all devices."""
+        if not self.spec.has_batchnorm:
+            return 0.0
+        return max(max_moving_variance(replica) for replica in self.replicas)
+
+    def signal_recovered(self) -> None:
+        """Called by a recovery hook after it rewinds training state: the
+        just-recorded iteration has been rolled back, so the training loop
+        must not act on its (possibly non-finite) loss."""
+        self._just_recovered = True
+
+    def _state_is_finite(self, loss: float) -> bool:
+        if not np.isfinite(loss):
+            return False
+        for param in self.master.parameters():
+            if not np.all(np.isfinite(param.data)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def train(self, iterations: int | None = None) -> ConvergenceRecord:
+        """Train for ``iterations`` (default: the spec's budget).
+
+        Stops early (recording the iteration) if the loss or any weight
+        becomes non-finite and ``stop_on_nonfinite`` is set, mirroring the
+        paper's protocol of training "until an error message (e.g., one
+        that reports the occurrence of INFs/NaNs) is encountered".
+        """
+        budget = self.spec.iterations if iterations is None else int(iterations)
+        end = self.iteration + budget
+        while self.iteration < end:
+            t = self.iteration
+            loss, acc = self.run_iteration(t)
+            hist = self.history_magnitude() if self.track_conditions else None
+            mvar = self.mvar_magnitude() if self.track_conditions else None
+            self.record.record_train(t, loss, acc, hist, mvar)
+            if self.test_every and (t + 1) % self.test_every == 0:
+                self.record.record_test(t, self.evaluate())
+            self._dispatch("after_iteration", t, loss, acc)
+            self.iteration += 1
+            if self._just_recovered:
+                self._just_recovered = False
+                continue
+            if not self._state_is_finite(loss):
+                self.record.mark_nonfinite(t)
+                if self.stop_on_nonfinite:
+                    break
+        return self.record

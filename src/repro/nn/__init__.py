@@ -1,0 +1,93 @@
+"""Mini deep-learning framework with explicit per-layer backward passes.
+
+Every layer exposes three fault-injectable op sites (forward output,
+weight gradient, input gradient) — see :mod:`repro.nn.module`.
+"""
+
+from repro.nn.activations import GELU, LeakyReLU, ReLU, ScaledReLU, Sigmoid, SiLU, Tanh
+from repro.nn.attention import (
+    Embedding,
+    MultiHeadSelfAttention,
+    PositionalEncoding,
+    TransformerEncoderLayer,
+)
+from repro.nn.blocks import (
+    DenseBlock,
+    DenseLayer,
+    InceptionBlock,
+    MBConvBlock,
+    NFBlock,
+    ResidualBlock,
+    SqueezeExcite,
+    TransitionLayer,
+    conv_bn_act,
+)
+from repro.nn.config import compute_precision, get_compute_precision, set_compute_precision
+from repro.nn.conv import AvgPool2D, Conv2D, GlobalAvgPool2D, MaxPool2D, col2im, im2col
+from repro.nn.linear import Dense, Dropout, Flatten
+from repro.nn.losses import (
+    DetectionLoss,
+    Loss,
+    MSELoss,
+    SequenceCrossEntropy,
+    SoftmaxCrossEntropy,
+    accuracy,
+    sequence_accuracy,
+    softmax,
+)
+from repro.nn.module import HOOK_KINDS, Module, Parameter, Sequential
+from repro.nn.normalization import BatchNorm, LayerNorm, batchnorm_layers, max_moving_variance
+from repro.nn.recurrent import LSTM, LastStep
+
+__all__ = [
+    "GELU",
+    "HOOK_KINDS",
+    "LSTM",
+    "AvgPool2D",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "DenseBlock",
+    "DenseLayer",
+    "DetectionLoss",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "InceptionBlock",
+    "LastStep",
+    "LayerNorm",
+    "LeakyReLU",
+    "Loss",
+    "MBConvBlock",
+    "MSELoss",
+    "MaxPool2D",
+    "Module",
+    "MultiHeadSelfAttention",
+    "NFBlock",
+    "Parameter",
+    "PositionalEncoding",
+    "ReLU",
+    "ResidualBlock",
+    "ScaledReLU",
+    "Sequential",
+    "SequenceCrossEntropy",
+    "Sigmoid",
+    "SiLU",
+    "SoftmaxCrossEntropy",
+    "SqueezeExcite",
+    "Tanh",
+    "TransformerEncoderLayer",
+    "TransitionLayer",
+    "accuracy",
+    "batchnorm_layers",
+    "col2im",
+    "compute_precision",
+    "conv_bn_act",
+    "get_compute_precision",
+    "im2col",
+    "max_moving_variance",
+    "sequence_accuracy",
+    "set_compute_precision",
+    "softmax",
+]

@@ -1,0 +1,162 @@
+"""Activation layers with explicit backward passes.
+
+Activations participate in the paper's masking analysis (Sec. 2): ReLU can
+mask a faulty negative value by setting it to zero, while unbounded
+activations propagate large faulty magnitudes unchanged — which is why
+range-restriction baselines (Ranger) clamp activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit: max(0, x)."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        out = np.where(self._mask, x, 0.0).astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = np.where(self._mask, grad, 0.0).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope (YOLO uses 0.1)."""
+
+    def __init__(self, negative_slope: float = 0.1):
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        out = np.where(self._mask, x, self.negative_slope * x).astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = np.where(self._mask, grad, self.negative_slope * grad).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid; saturates, so it can mask large faulty values."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise formulation.
+        out = np.empty_like(x, dtype=np.float32)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = (grad * self._out * (1.0 - self._out)).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self):
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x).astype(np.float32)
+        return self.apply_fault_hook("forward", self._out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = (grad * (1.0 - self._out**2)).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation), used by Transformer."""
+
+    _C = np.float32(np.sqrt(2.0 / np.pi))
+
+    def __init__(self):
+        super().__init__()
+        self._x: np.ndarray | None = None
+        self._tanh: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        inner = self._C * (x + 0.044715 * x**3)
+        self._tanh = np.tanh(inner)
+        out = (0.5 * x * (1.0 + self._tanh)).astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, t = self._x, self._tanh
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * d_inner
+        out = (grad * d).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class SiLU(Module):
+    """Sigmoid linear unit (swish), used by EfficientNet."""
+
+    def __init__(self):
+        super().__init__()
+        self._x: np.ndarray | None = None
+        self._sig: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        sig = np.empty_like(x, dtype=np.float32)
+        pos = x >= 0
+        sig[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        sig[~pos] = ex / (1.0 + ex)
+        self._sig = sig
+        out = (x * sig).astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        s = self._sig
+        d = s + self._x * s * (1.0 - s)
+        out = (grad * d).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)
+
+
+class ScaledReLU(Module):
+    """Variance-preserving ReLU used by normalizer-free networks (NFNet).
+
+    Multiplies the ReLU output by ``sqrt(2 / (1 - 1/pi))`` so the output
+    variance matches the input variance, replacing BatchNorm's variance
+    control — this is what makes NFNet a "no normalization layers" workload
+    in the paper's taxonomy (its mvar necessary condition cannot fire).
+    """
+
+    GAMMA = np.float32(np.sqrt(2.0 / (1.0 - 1.0 / np.pi)))
+
+    def __init__(self):
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        out = (np.where(self._mask, x, 0.0) * self.GAMMA).astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = (np.where(self._mask, grad, 0.0) * self.GAMMA).astype(np.float32)
+        return self.apply_fault_hook("input_grad", out)

@@ -1,0 +1,163 @@
+"""Embedding, positional encoding, multi-head attention, Transformer layer.
+
+These implement the Transformer workload of Table 2.  The Transformer is
+the one workload in the paper whose SlowDegrade runs eventually recovered
+within the doubled training budget (Sec. 4.2.3) — with LayerNorm instead
+of BatchNorm there are no moving statistics, so all latent outcomes flow
+through the optimizer's gradient-history values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import GELU
+from repro.nn.linear import Dense
+from repro.nn.losses import softmax
+from repro.nn.module import Module
+from repro.nn.normalization import LayerNorm
+
+
+class Embedding(Module):
+    """Token embedding lookup with accumulating backward."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.vocab_size = int(vocab_size)
+        self.dim = int(dim)
+        self.add_param(
+            "weight", rng.normal(0.0, 0.02, size=(vocab_size, dim)).astype(np.float32)
+        )
+        self._tokens: np.ndarray | None = None
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        self._tokens = tokens
+        out = self.weight.data[tokens].astype(np.float32)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        dw = np.zeros_like(self.weight.data)
+        np.add.at(dw, self._tokens, grad)
+        dw = self.apply_fault_hook("weight_grad", dw, param="weight")
+        self.weight.grad += dw
+        # Tokens are integers: nothing upstream to propagate to.
+        return np.zeros_like(grad)
+
+
+class PositionalEncoding(Module):
+    """Sinusoidal positional encoding added to (N, T, D) embeddings."""
+
+    def __init__(self, dim: int, max_len: int = 512):
+        super().__init__()
+        position = np.arange(max_len)[:, None].astype(np.float64)
+        div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+        table = np.zeros((max_len, dim), dtype=np.float32)
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div[: table[:, 1::2].shape[1]])
+        self.table = table
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        t = x.shape[1]
+        with np.errstate(over="ignore", invalid="ignore"):
+            return (x + self.table[None, :t]).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with explicit backward.
+
+    Supports an optional causal mask (decoder-style), which the toy
+    translation workload uses for its autoregressive half.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 causal: bool = False):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = int(dim)
+        self.num_heads = int(num_heads)
+        self.head_dim = dim // num_heads
+        self.causal = bool(causal)
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.add_module("wq", Dense(dim, dim, rng))
+        self.add_module("wk", Dense(dim, dim, rng))
+        self.add_module("wv", Dense(dim, dim, rng))
+        self.add_module("wo", Dense(dim, dim, rng))
+        self._cache: tuple | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        n, h, t, d = x.shape
+        return np.ascontiguousarray(x.transpose(0, 2, 1, 3)).reshape(n, t, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        q = self._split_heads(self.wq.forward(x))
+        k = self._split_heads(self.wk.forward(x))
+        v = self._split_heads(self.wv.forward(x))
+        with np.errstate(over="ignore", invalid="ignore"):
+            scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale
+            if self.causal:
+                mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+                scores = np.where(mask, np.float32(-1e30), scores)
+            attn = softmax(scores, axis=-1)
+            context = attn @ v
+        self._cache = (q, k, v, attn)
+        merged = self._merge_heads(context)
+        out = self.wo.forward(merged)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        q, k, v, attn = self._cache
+        d_merged = self.wo.backward(grad)
+        d_context = self._split_heads(d_merged)
+        with np.errstate(over="ignore", invalid="ignore"):
+            d_attn = d_context @ v.transpose(0, 1, 3, 2)
+            d_v = attn.transpose(0, 1, 3, 2) @ d_context
+            # Softmax Jacobian-vector product.
+            d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+            d_scores = d_scores * self.scale
+            d_q = d_scores @ k
+            d_k = d_scores.transpose(0, 1, 3, 2) @ q
+        dx_q = self.wq.backward(self._merge_heads(d_q))
+        dx_k = self.wk.backward(self._merge_heads(d_k))
+        dx_v = self.wv.backward(self._merge_heads(d_v))
+        with np.errstate(over="ignore", invalid="ignore"):
+            dx = (dx_q + dx_k + dx_v).astype(np.float32)
+        return self.apply_fault_hook("input_grad", dx)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN Transformer block: LN → MHA → residual, LN → FFN → residual."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int,
+                 rng: np.random.Generator, causal: bool = False):
+        super().__init__()
+        self.add_module("ln1", LayerNorm(dim))
+        self.add_module("attn", MultiHeadSelfAttention(dim, num_heads, rng, causal=causal))
+        self.add_module("ln2", LayerNorm(dim))
+        self.add_module("ff1", Dense(dim, ff_dim, rng))
+        self.add_module("act", GELU())
+        self.add_module("ff2", Dense(ff_dim, dim, rng))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore"):
+            h = x + self.attn.forward(self.ln1.forward(x))
+            out = h + self.ff2.forward(self.act.forward(self.ff1.forward(self.ln2.forward(h))))
+        return out.astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g_ff = self.ln2.backward(
+            self.ff1.backward(self.act.backward(self.ff2.backward(grad)))
+        )
+        with np.errstate(over="ignore", invalid="ignore"):
+            g_h = (grad + g_ff).astype(np.float32)
+        g_attn = self.ln1.backward(self.attn.backward(g_h))
+        with np.errstate(over="ignore", invalid="ignore"):
+            return (g_h + g_attn).astype(np.float32)

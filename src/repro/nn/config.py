@@ -1,0 +1,57 @@
+"""Global compute-precision configuration for the mini DL framework.
+
+The accelerator modeled by the paper performs MAC operations in bfloat16
+and element-wise operations in FP32 (Sec. 3.1).  Layers that perform MAC
+work (Dense, Conv2D, attention projections) consult this module to decide
+whether to quantize their matmul inputs.
+
+Mixed precision defaults to *off* so numerical gradient checks are exact;
+workloads that model the accelerator faithfully enable it via
+:func:`set_compute_precision` or the :func:`compute_precision` context
+manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.tensor.dtypes import Precision, quantized_matmul
+
+_COMPUTE_PRECISION: str = Precision.FP32
+
+
+def get_compute_precision() -> str:
+    """Return the active MAC-input precision mode."""
+    return _COMPUTE_PRECISION
+
+
+def set_compute_precision(mode: str) -> None:
+    """Set the MAC-input precision mode for subsequently executed layers."""
+    if mode not in Precision.modes():
+        raise ValueError(f"unknown precision mode: {mode!r}")
+    global _COMPUTE_PRECISION
+    _COMPUTE_PRECISION = mode
+
+
+@contextmanager
+def compute_precision(mode: str):
+    """Temporarily switch the MAC-input precision mode."""
+    previous = get_compute_precision()
+    set_compute_precision(mode)
+    try:
+        yield
+    finally:
+        set_compute_precision(previous)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiply under the active precision mode.
+
+    FP32 mode is a plain ``a @ b``; other modes quantize the inputs first
+    and accumulate in FP32, mirroring the accelerator datapath.
+    """
+    if _COMPUTE_PRECISION == Precision.FP32:
+        return a @ b
+    return quantized_matmul(a, b, input_precision=_COMPUTE_PRECISION)

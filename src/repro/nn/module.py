@@ -1,0 +1,249 @@
+"""Module base class for the mini DL framework.
+
+The paper's artifact manually implements the backward pass of every
+workload so that faults can be injected into backward-pass operations and
+their effects propagated correctly (Appendix A.1).  We follow the same
+design: every :class:`Module` implements an explicit ``forward`` and
+``backward`` instead of relying on a taped autograd engine.  This makes
+each operation (forward output, weight-gradient, input-gradient) an
+addressable *op site* for fault injection.
+
+Fault hooks
+-----------
+Each module carries three hook slots, one per op site kind:
+
+``"forward"``
+    applied to the module's forward output tensor,
+``"weight_grad"``
+    applied to every weight-gradient tensor the module produces,
+``"input_grad"``
+    applied to the input-gradient tensor returned by ``backward``.
+
+A hook is a callable ``hook(tensor, site_info) -> tensor``.  The injection
+engine (:mod:`repro.core.faults.injector`) installs one-shot hooks at the
+chosen training iteration; in fault-free operation all slots are ``None``
+and the hot path pays a single attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+HOOK_KINDS = ("forward", "weight_grad", "input_grad")
+
+HookFn = Callable[[np.ndarray, dict], np.ndarray]
+
+
+class Parameter:
+    """A trainable tensor with its gradient.
+
+    Gradients are accumulated by ``backward`` calls and consumed by the
+    optimizer.  ``data`` and ``grad`` are always float32 arrays.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and composite blocks.
+
+    Subclasses register parameters with :meth:`add_param` and children with
+    :meth:`add_module`, implement :meth:`forward` (caching whatever the
+    backward pass needs) and :meth:`backward` (consuming the cache,
+    accumulating parameter gradients, and returning the input gradient).
+    """
+
+    def __init__(self):
+        self._params: dict[str, Parameter] = {}
+        self._modules: dict[str, Module] = {}
+        self._fault_hooks: dict[str, HookFn | None] = {k: None for k in HOOK_KINDS}
+        self.name = type(self).__name__
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration and traversal
+    # ------------------------------------------------------------------
+    def add_param(self, name: str, data: np.ndarray) -> Parameter:
+        param = Parameter(data, name=f"{self.name}.{name}")
+        self._params[name] = param
+        setattr(self, name, param)
+        return param
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        module.name = f"{self.name}.{name}"
+        self._modules[name] = module
+        setattr(self, name, module)
+        return module
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its descendants."""
+        yield from self._params.values()
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._params.items():
+            yield (f"{prefix}{name}", param)
+        for cname, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{cname}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for cname, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{cname}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (used by recovery and campaigns)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-parameter persistent state (e.g. BatchNorm moving stats)."""
+        return {}
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`extra_state`."""
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat snapshot of all parameters and extra state, copied."""
+        out: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            out[f"param:{name}"] = param.data.copy()
+        for mod_name, module in self.named_modules():
+            for key, value in module.extra_state().items():
+                out[f"state:{mod_name}:{key}"] = np.array(value, copy=True)
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        extra: dict[str, dict[str, np.ndarray]] = {}
+        for key, value in state.items():
+            kind, _, rest = key.partition(":")
+            if kind == "param":
+                params[rest].data = np.array(value, copy=True)
+            elif kind == "state":
+                mod_name, _, state_key = rest.partition(":")
+                extra.setdefault(mod_name, {})[state_key] = value
+            else:
+                raise KeyError(f"unrecognized state key: {key}")
+        modules = dict(self.named_modules())
+        for mod_name, mod_state in extra.items():
+            modules[mod_name].load_extra_state(
+                {k: np.array(v, copy=True) for k, v in mod_state.items()}
+            )
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def set_fault_hook(self, kind: str, hook: HookFn | None) -> None:
+        if kind not in HOOK_KINDS:
+            raise ValueError(f"unknown hook kind {kind!r}; expected one of {HOOK_KINDS}")
+        self._fault_hooks[kind] = hook
+
+    def clear_fault_hooks(self) -> None:
+        for kind in HOOK_KINDS:
+            self._fault_hooks[kind] = None
+
+    def apply_fault_hook(self, kind: str, tensor: np.ndarray, **site_info) -> np.ndarray:
+        """Apply a hook (if any) to ``tensor``; called by layer internals."""
+        hook = self._fault_hooks[kind]
+        if hook is None:
+            return tensor
+        info = dict(site_info)
+        info.setdefault("module", self)
+        info.setdefault("kind", kind)
+        return hook(tensor, info)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: list[Module] = []
+        for idx, layer in enumerate(layers):
+            self.add_module(str(idx), layer)
+            self.layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.add_module(str(len(self.layers)), layer)
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)

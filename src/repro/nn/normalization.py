@@ -1,0 +1,204 @@
+"""Normalization layers.
+
+BatchNorm's *moving variance* (``mvar``) is one of the two history terms at
+the heart of the paper: ``mvar_{t} = decay * mvar_{t-1} + (1 - decay) *
+input_variance`` (Sec. 4.2.2).  Large absolute mvar values are the
+necessary condition for the SharpDegrade, LowTestAccuracy, and short-term
+INFs/NaNs outcomes (Table 4), and the detection technique bounds them
+(Algorithm 1, part II).
+
+The moving statistics here are first-class inspectable state:
+:meth:`BatchNorm.history_magnitude` returns the largest absolute moving
+statistic, which the detector and the propagation tracer both read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import ones, zeros
+from repro.nn.module import Module
+
+
+class BatchNorm(Module):
+    """Batch normalization over (N, C) or (N, C, H, W) inputs.
+
+    Parameters
+    ----------
+    num_features:
+        Channel count ``C``.
+    momentum:
+        The *decay factor* applied to the moving statistics.  The paper's
+        workloads use 0.9 except Resnet_LargeDecay which uses 0.99 — the
+        configuration whose slow mvar correction produces LowTestAccuracy.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.add_param("gamma", ones((num_features,)))
+        self.add_param("beta", zeros((num_features,)))
+        self.moving_mean = np.zeros(num_features, dtype=np.float32)
+        self.moving_var = np.ones(num_features, dtype=np.float32)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Persistent state
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict[str, np.ndarray]:
+        return {"moving_mean": self.moving_mean, "moving_var": self.moving_var}
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        self.moving_mean = np.asarray(state["moving_mean"], dtype=np.float32).copy()
+        self.moving_var = np.asarray(state["moving_var"], dtype=np.float32).copy()
+
+    def history_magnitude(self) -> float:
+        """Largest absolute moving statistic (the detector's |mvar| probe)."""
+        mags = [np.abs(self.moving_var).max(), np.abs(self.moving_mean).max()]
+        finite = [float(m) for m in mags if np.isfinite(m)]
+        if len(finite) < len(mags):
+            return float("inf")
+        return max(finite)
+
+    # ------------------------------------------------------------------
+    # Shape plumbing: reduce over every axis except the channel axis (1
+    # for 4D NCHW, 1 for 2D NC).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2D or 4D input, got {x.ndim}D")
+
+    @staticmethod
+    def _reshape_stats(stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat
+        return stat.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        ndim = x.ndim
+        if self.training:
+            with np.errstate(over="ignore", invalid="ignore"):
+                mean = x.mean(axis=axes, dtype=np.float32)
+                var = x.var(axis=axes, dtype=np.float32)
+                # Moving statistics update: the history-term recurrence of
+                # Sec. 4.2.2.  Computed in float32 so faulty magnitudes
+                # overflow to inf exactly as they would on the accelerator.
+                self.moving_mean = (
+                    self.momentum * self.moving_mean + (1.0 - self.momentum) * mean
+                ).astype(np.float32)
+                self.moving_var = (
+                    self.momentum * self.moving_var + (1.0 - self.momentum) * var
+                ).astype(np.float32)
+        else:
+            mean = self.moving_mean
+            var = self.moving_var
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = (x - self._reshape_stats(mean, ndim)) * self._reshape_stats(inv_std, ndim)
+            out = (
+                self._reshape_stats(self.gamma.data, ndim) * xhat
+                + self._reshape_stats(self.beta.data, ndim)
+            ).astype(np.float32)
+        if self.training:
+            self._cache = (xhat, inv_std, axes, x.shape)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, inv_std, axes, shape = self._cache
+        ndim = len(shape)
+        m = float(np.prod([shape[a] for a in axes]))
+        dgamma = (grad * xhat).sum(axis=axes).astype(np.float32)
+        dbeta = grad.sum(axis=axes).astype(np.float32)
+        dgamma = self.apply_fault_hook("weight_grad", dgamma, param="gamma")
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        gamma = self._reshape_stats(self.gamma.data, ndim)
+        inv = self._reshape_stats(inv_std, ndim)
+        dxhat = grad * gamma
+        with np.errstate(over="ignore", invalid="ignore"):
+            dx = (
+                inv
+                / m
+                * (
+                    m * dxhat
+                    - dxhat.sum(axis=axes, keepdims=True)
+                    - xhat * (dxhat * xhat).sum(axis=axes, keepdims=True)
+                )
+            ).astype(np.float32)
+        return self.apply_fault_hook("input_grad", dx)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension (Transformer blocks).
+
+    LayerNorm carries no moving statistics, so the mvar necessary condition
+    cannot fire in a pure-LayerNorm workload — which is why the Transformer
+    workload's latent outcomes in the paper all come from optimizer history
+    values.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.add_param("gamma", ones((num_features,)))
+        self.add_param("beta", zeros((num_features,)))
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            mean = x.mean(axis=-1, keepdims=True, dtype=np.float32)
+            var = x.var(axis=-1, keepdims=True, dtype=np.float32)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = (x - mean) * inv_std
+            out = (self.gamma.data * xhat + self.beta.data).astype(np.float32)
+        self._cache = (xhat, inv_std)
+        return self.apply_fault_hook("forward", out)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, inv_std = self._cache
+        m = float(xhat.shape[-1])
+        reduce_axes = tuple(range(xhat.ndim - 1))
+        dgamma = (grad * xhat).sum(axis=reduce_axes).astype(np.float32)
+        dbeta = grad.sum(axis=reduce_axes).astype(np.float32)
+        dgamma = self.apply_fault_hook("weight_grad", dgamma, param="gamma")
+        self.gamma.grad += dgamma
+        self.beta.grad += dbeta
+        dxhat = grad * self.gamma.data
+        with np.errstate(over="ignore", invalid="ignore"):
+            dx = (
+                inv_std
+                / m
+                * (
+                    m * dxhat
+                    - dxhat.sum(axis=-1, keepdims=True)
+                    - xhat * (dxhat * xhat).sum(axis=-1, keepdims=True)
+                )
+            ).astype(np.float32)
+        return self.apply_fault_hook("input_grad", dx)
+
+
+def batchnorm_layers(model: Module) -> list[BatchNorm]:
+    """All BatchNorm layers in a model, in traversal order."""
+    return [m for m in model.modules() if isinstance(m, BatchNorm)]
+
+
+def max_moving_variance(model: Module) -> float:
+    """The largest |moving statistic| across all BatchNorm layers.
+
+    This is the quantity the detection technique compares against the
+    Algorithm 1 part-II bound each iteration.  Returns 0.0 for models with
+    no BatchNorm layers (e.g. Resnet_NoBN, NFNet), for which the mvar
+    necessary condition is structurally impossible.
+    """
+    layers = batchnorm_layers(model)
+    if not layers:
+        return 0.0
+    return max(layer.history_magnitude() for layer in layers)

@@ -1,0 +1,130 @@
+"""Recurrent layers (LSTM) with full backpropagation through time.
+
+Used by the multigrid-neural-memory stand-in workload (Table 2): the
+recurrent state is itself a history term that carries fault effects across
+*time steps* within an iteration, complementing the optimizer- and
+normalization-history terms that carry effects across *iterations*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import orthogonal, zeros
+from repro.nn.module import Module
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float32)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class LSTM(Module):
+    """Single-layer LSTM over (N, T, D) sequences, returning (N, T, H).
+
+    Gate order in the packed kernel is [input, forget, cell, output].
+    The forget-gate bias is initialized to 1.0 (standard practice).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = int(input_dim)
+        self.hidden_dim = int(hidden_dim)
+        scale = 1.0 / np.sqrt(input_dim)
+        self.add_param(
+            "w_x",
+            rng.uniform(-scale, scale, size=(input_dim, 4 * hidden_dim)).astype(np.float32),
+        )
+        self.add_param("w_h", np.concatenate(
+            [orthogonal(rng, (hidden_dim, hidden_dim)) for _ in range(4)], axis=1
+        ))
+        bias = zeros((4 * hidden_dim,))
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget gate
+        self.add_param("bias", bias)
+        self._cache: list[tuple] | None = None
+        self._x_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        hd = self.hidden_dim
+        h = np.zeros((n, hd), dtype=np.float32)
+        c = np.zeros((n, hd), dtype=np.float32)
+        self._cache = []
+        self._x_shape = x.shape
+        outputs = np.empty((n, t, hd), dtype=np.float32)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for step in range(t):
+                xt = x[:, step]
+                gates = xt @ self.w_x.data + h @ self.w_h.data + self.bias.data
+                i = _sigmoid(gates[:, :hd])
+                f = _sigmoid(gates[:, hd : 2 * hd])
+                g = np.tanh(gates[:, 2 * hd : 3 * hd])
+                o = _sigmoid(gates[:, 3 * hd :])
+                c_prev = c
+                c = (f * c_prev + i * g).astype(np.float32)
+                tanh_c = np.tanh(c)
+                h = (o * tanh_c).astype(np.float32)
+                outputs[:, step] = h
+                self._cache.append((xt, i, f, g, o, c_prev, c, tanh_c, h))
+        return self.apply_fault_hook("forward", outputs)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, t, _ = self._x_shape
+        hd = self.hidden_dim
+        dx = np.zeros(self._x_shape, dtype=np.float32)
+        dw_x = np.zeros_like(self.w_x.data)
+        dw_h = np.zeros_like(self.w_h.data)
+        db = np.zeros_like(self.bias.data)
+        dh_next = np.zeros((n, hd), dtype=np.float32)
+        dc_next = np.zeros((n, hd), dtype=np.float32)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for step in range(t - 1, -1, -1):
+                xt, i, f, g, o, c_prev, c, tanh_c, h = self._cache[step]
+                h_prev = self._cache[step - 1][8] if step > 0 else np.zeros((n, hd), np.float32)
+                dh = grad[:, step] + dh_next
+                do = dh * tanh_c
+                dc = dh * o * (1.0 - tanh_c**2) + dc_next
+                di = dc * g
+                df = dc * c_prev
+                dg = dc * i
+                dc_next = dc * f
+                d_gates = np.concatenate(
+                    [
+                        di * i * (1.0 - i),
+                        df * f * (1.0 - f),
+                        dg * (1.0 - g**2),
+                        do * o * (1.0 - o),
+                    ],
+                    axis=1,
+                ).astype(np.float32)
+                dw_x += xt.T @ d_gates
+                dw_h += h_prev.T @ d_gates
+                db += d_gates.sum(axis=0)
+                dx[:, step] = d_gates @ self.w_x.data.T
+                dh_next = (d_gates @ self.w_h.data.T).astype(np.float32)
+        dw_x = self.apply_fault_hook("weight_grad", dw_x, param="w_x")
+        self.w_x.grad += dw_x
+        self.w_h.grad += dw_h
+        self.bias.grad += db
+        return self.apply_fault_hook("input_grad", dx)
+
+
+class LastStep(Module):
+    """Select the last time step of an (N, T, H) sequence."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return np.ascontiguousarray(x[:, -1])
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = np.zeros(self._shape, dtype=np.float32)
+        out[:, -1] = grad
+        return out

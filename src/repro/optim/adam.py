@@ -1,0 +1,126 @@
+"""Adam-family optimizers with exposed gradient-history terms.
+
+Adam (Eq. 1 of the paper) maintains two history terms per parameter:
+
+* ``m_t = beta1 * m_{t-1} + (1 - beta1) * g_t``
+* ``v_t = beta2 * v_{t-1} + (1 - beta2) * g_t^2``
+
+and normalizes the update by ``sqrt(v_t)``.  These history values are the
+necessary condition for the SlowDegrade and SharpSlowDegrade outcomes
+(Table 4): a single large faulty gradient inflates ``m`` and especially
+``v``, which then (1) biases updates in the faulty direction (Phase 1 of
+Fig. 5), (2) suppresses learning while ``v`` remains huge (Phase 2), and
+(3) decays at rate ``beta2`` toward an eventual recovery (Phase 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer, max_abs
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), matching Eq. 1 of the paper."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.m: list[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self.v: list[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def normalizes_gradients(self) -> bool:
+        return True
+
+    def history_magnitude(self) -> float:
+        return max_abs(self.m + self.v)
+
+    def first_moment_arrays(self) -> list[np.ndarray]:
+        return self.m
+
+    def second_moment_arrays(self) -> list[np.ndarray]:
+        return self.v
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"m": self.m, "v": self.v}
+
+    def _update_for(self, i: int, param: Parameter, t: int) -> np.ndarray:
+        """The bias-corrected Adam update ``u_t`` for parameter ``i``."""
+        m_hat = self.m[i] / (1.0 - self.beta1**t)
+        v_hat = self.v[i] / (1.0 - self.beta2**t)
+        return (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
+
+    def step(self) -> None:
+        self.iteration += 1
+        t = self.iteration
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for i, param in enumerate(self.params):
+                g = param.grad
+                self.m[i] = (self.beta1 * self.m[i] + (1.0 - self.beta1) * g).astype(np.float32)
+                self.v[i] = (self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g).astype(
+                    np.float32
+                )
+                self._apply_update(param, self._update_for(i, param, t), i)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(params, lr, beta1, beta2, eps)
+        self.weight_decay = float(weight_decay)
+
+    def _update_for(self, i: int, param: Parameter, t: int) -> np.ndarray:
+        update = super()._update_for(i, param, t)
+        return (update + self.lr * self.weight_decay * param.data).astype(np.float32)
+
+
+class RMSProp(Optimizer):
+    """RMSProp: normalizes by a running mean of squared gradients.
+
+    A second normalizing optimizer, used by ablation benches to confirm
+    that the SlowDegrade mechanism follows from gradient normalization in
+    general, not from Adam specifically (the paper: 134 of 154 optimizers
+    developed 2015-2021 normalize gradients via history values).
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3, rho: float = 0.9,
+                 eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self.sq: list[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def normalizes_gradients(self) -> bool:
+        return True
+
+    def history_magnitude(self) -> float:
+        return max_abs(self.sq)
+
+    def second_moment_arrays(self) -> list[np.ndarray]:
+        return self.sq
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"sq": self.sq}
+
+    def step(self) -> None:
+        self.iteration += 1
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            for i, param in enumerate(self.params):
+                g = param.grad
+                self.sq[i] = (self.rho * self.sq[i] + (1.0 - self.rho) * g * g).astype(
+                    np.float32
+                )
+                update = (self.lr * g / (np.sqrt(self.sq[i]) + self.eps)).astype(np.float32)
+                self._apply_update(param, update, i)

@@ -1,0 +1,139 @@
+"""Optimizer base class with first-class *history terms*.
+
+The paper's central finding is that optimizer gradient-history values
+(``m_t`` and ``v_t`` in Adam) are one of the two state classes through
+which hardware faults persist across training iterations (Observation 2,
+Sec. 4.2.6).  Every optimizer here therefore exposes:
+
+* :meth:`history_magnitude` — the largest absolute history value, read by
+  the detection technique each iteration (Sec. 5.1);
+* :meth:`normalizes_gradients` — whether the optimizer divides by a
+  gradient-history statistic.  Per Sec. 4.2.3, SlowDegrade and
+  SharpSlowDegrade require a normalizing optimizer, while SharpDegrade
+  requires a non-normalizing one;
+* :meth:`state_dict` / :meth:`load_state_dict` — snapshots used by the
+  two-iteration re-execution recovery (Sec. 5.2) and by FI campaigns.
+
+Update hooks
+------------
+The weight-update operation itself is an injectable op site: the paper
+notes that with SGD, large faulty weights can be created by a fault during
+"the operation that adds gradients to current weight values" (Sec. 4.2.2).
+``set_update_hook`` installs a one-shot hook ``hook(update, info) ->
+update`` applied to the per-parameter update tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+UpdateHook = Callable[[np.ndarray, dict], np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = float(lr)
+        self.iteration = 0
+        self._update_hook: UpdateHook | None = None
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Apply one update using the gradients stored on the parameters."""
+        raise NotImplementedError
+
+    def normalizes_gradients(self) -> bool:
+        """True if updates divide by a gradient-history statistic."""
+        raise NotImplementedError
+
+    def history_magnitude(self) -> float:
+        """Largest absolute gradient-history value across all slots.
+
+        Optimizers without history (plain SGD) return 0.0: the
+        gradient-history necessary condition is structurally impossible.
+        """
+        return 0.0
+
+    def first_moment_arrays(self) -> list[np.ndarray]:
+        """History values that are linear in gradients (Adam ``m``, SGD
+        velocity) — checked against Algorithm 1's first-moment bound."""
+        return []
+
+    def second_moment_arrays(self) -> list[np.ndarray]:
+        """History values quadratic in gradients (Adam ``v``, RMSProp
+        ``sq``) — checked against the *squared* bound."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def set_update_hook(self, hook: UpdateHook | None) -> None:
+        self._update_hook = hook
+
+    def _apply_update(self, param: Parameter, update: np.ndarray, index: int) -> None:
+        """Subtract ``update`` from ``param.data``, via the hook if set."""
+        if self._update_hook is not None:
+            update = self._update_hook(
+                update, {"param": param, "index": index, "iteration": self.iteration}
+            )
+        with np.errstate(over="ignore", invalid="ignore"):
+            param.data = (param.data - update).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore
+    # ------------------------------------------------------------------
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        """Name -> per-parameter state arrays.  Subclasses override."""
+        return {}
+
+    def state_dict(self) -> dict:
+        out: dict = {"iteration": self.iteration, "lr": self.lr}
+        for name, slots in self._slot_arrays().items():
+            out[name] = [np.array(s, copy=True) for s in slots]
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        self.iteration = int(state["iteration"])
+        self.lr = float(state["lr"])
+        slots = self._slot_arrays()
+        for name, arrays in state.items():
+            if name in ("iteration", "lr"):
+                continue
+            target = slots[name]
+            for i, arr in enumerate(arrays):
+                target[i][...] = arr
+
+    def history_values(self) -> list[np.ndarray]:
+        """All history arrays, for fine-grained analysis (Table 4 ranges)."""
+        out: list[np.ndarray] = []
+        for slots in self._slot_arrays().values():
+            out.extend(slots)
+        return out
+
+
+def max_abs(values: list[np.ndarray]) -> float:
+    """Largest absolute entry across arrays; inf/NaN map to inf."""
+    worst = 0.0
+    for arr in values:
+        if arr.size == 0:
+            continue
+        with np.errstate(invalid="ignore"):
+            m = np.abs(arr).max()
+        if not np.isfinite(m):
+            return float("inf")
+        worst = max(worst, float(m))
+    return worst

@@ -1,0 +1,55 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer
+
+
+class Schedule:
+    """Base schedule: maps an iteration index to a learning rate."""
+
+    def __init__(self, base_lr: float):
+        self.base_lr = float(base_lr)
+
+    def lr_at(self, iteration: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, iteration: int) -> float:
+        lr = self.lr_at(iteration)
+        optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(Schedule):
+    def lr_at(self, iteration: int) -> float:
+        return self.base_lr
+
+
+class CosineSchedule(Schedule):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, base_lr: float, total_steps: int, min_lr: float = 0.0):
+        super().__init__(base_lr)
+        self.total_steps = max(int(total_steps), 1)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, iteration: int) -> float:
+        frac = min(iteration / self.total_steps, 1.0)
+        cos = 0.5 * (1.0 + np.cos(np.pi * frac))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class WarmupSchedule(Schedule):
+    """Linear warmup then inverse-sqrt decay (Transformer training)."""
+
+    def __init__(self, base_lr: float, warmup_steps: int = 100):
+        super().__init__(base_lr)
+        self.warmup_steps = max(int(warmup_steps), 1)
+
+    def lr_at(self, iteration: int) -> float:
+        step = max(iteration, 1)
+        warm = step / self.warmup_steps
+        decay = np.sqrt(self.warmup_steps / step)
+        return self.base_lr * min(warm, decay)

@@ -1,0 +1,56 @@
+"""Stochastic gradient descent, with optional momentum.
+
+Plain SGD does not normalize gradients — per Sec. 4.2.3 this is what makes
+the SharpDegrade outcome (and the Resnet_SGD short-term INFs/NaNs case)
+reachable: a large faulty gradient is applied to the weights at full
+magnitude instead of being squashed by an adaptive denominator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer, max_abs
+
+
+class SGD(Optimizer):
+    """SGD with optional classical momentum.
+
+    With ``momentum > 0`` the velocity buffer is a gradient-history term
+    (it carries fault effects across iterations), but it does not
+    *normalize* gradients, so the optimizer still reports
+    ``normalizes_gradients() == False``.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.velocity: list[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def normalizes_gradients(self) -> bool:
+        return False
+
+    def history_magnitude(self) -> float:
+        if self.momentum == 0.0:
+            return 0.0
+        return max_abs(self.velocity)
+
+    def first_moment_arrays(self) -> list[np.ndarray]:
+        return self.velocity if self.momentum > 0.0 else []
+
+    def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
+        return {"velocity": self.velocity}
+
+    def step(self) -> None:
+        self.iteration += 1
+        with np.errstate(over="ignore", invalid="ignore"):
+            for i, param in enumerate(self.params):
+                if self.momentum > 0.0:
+                    self.velocity[i] = (
+                        self.momentum * self.velocity[i] + param.grad
+                    ).astype(np.float32)
+                    update = self.lr * self.velocity[i]
+                else:
+                    update = self.lr * param.grad
+                self._apply_update(param, update.astype(np.float32), i)

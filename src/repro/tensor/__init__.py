@@ -1,0 +1,39 @@
+"""Numerics substrate: reduced-precision emulation and bit manipulation."""
+
+from repro.tensor.bits import (
+    bit_field,
+    bits_to_float32,
+    flip_bfloat16_bit,
+    flip_float32_bit,
+    float32_to_bits,
+    is_upper_exponent_bit,
+    random_float32_pattern,
+)
+from repro.tensor.dtypes import (
+    BFLOAT16_MAX,
+    FLOAT32_MAX,
+    Precision,
+    quantized_matmul,
+    saturate_to_inf,
+    to_bfloat16,
+    to_float16,
+    to_int16_saturating,
+)
+
+__all__ = [
+    "BFLOAT16_MAX",
+    "FLOAT32_MAX",
+    "Precision",
+    "bit_field",
+    "bits_to_float32",
+    "flip_bfloat16_bit",
+    "flip_float32_bit",
+    "float32_to_bits",
+    "is_upper_exponent_bit",
+    "quantized_matmul",
+    "random_float32_pattern",
+    "saturate_to_inf",
+    "to_bfloat16",
+    "to_float16",
+    "to_int16_saturating",
+]

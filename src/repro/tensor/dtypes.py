@@ -1,0 +1,135 @@
+"""Reduced-precision floating point emulation on top of NumPy float32.
+
+The accelerator modeled in this study (Sec. 3.1 of the paper) performs MAC
+operations in bfloat16 and element-wise operations in FP32, which is a
+common mixed-precision setting for training.  NumPy has no native bfloat16,
+so we emulate it by rounding float32 values to the nearest value
+representable in bfloat16 (8-bit exponent, 7-bit mantissa).
+
+All functions here are pure and vectorized; they are the numerical
+foundation used both by the mini DL framework (``repro.nn``) when mixed
+precision is enabled, and by the bit-level fault models (``repro.tensor.bits``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Largest finite float32 magnitude.  Values beyond this overflow to inf,
+#: which is the mechanism behind the paper's INFs/NaNs outcomes.
+FLOAT32_MAX = float(np.finfo(np.float32).max)
+
+#: Largest finite bfloat16 magnitude (same exponent range as float32,
+#: 7 mantissa bits): 0x7F7F -> 3.3895e38.
+BFLOAT16_MAX = 3.3895313892515355e38
+
+#: Number of mantissa bits dropped when truncating float32 to bfloat16.
+_BF16_SHIFT = 16
+
+
+def to_bfloat16(x: np.ndarray | float) -> np.ndarray:
+    """Round float32 values to the nearest bfloat16-representable value.
+
+    Uses round-to-nearest-even on the upper 16 bits of the IEEE-754
+    float32 encoding, which is the standard hardware conversion.  The
+    result is returned as float32 (the values are exactly representable).
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF plus the LSB of the surviving part.
+    lsb = (bits >> _BF16_SHIFT) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb
+    truncated = rounded & np.uint32(0xFFFF0000)
+    out = truncated.view(np.float32)
+    # NaNs must stay NaNs (rounding could carry into the exponent field of
+    # an inf/NaN encoding; restore them explicitly).
+    nan_mask = np.isnan(arr)
+    if np.any(nan_mask):
+        out = np.where(nan_mask, np.float32(np.nan), out)
+    return out
+
+
+def to_float16(x: np.ndarray | float) -> np.ndarray:
+    """Round float32 values through IEEE float16 and back.
+
+    Not used by the default accelerator configuration but exposed so the
+    precision-misconfiguration fault (Table 3: a fault flips the data
+    precision configuration) has a second target format.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float32).astype(np.float16).astype(np.float32)
+
+
+def to_int16_saturating(x: np.ndarray | float) -> np.ndarray:
+    """Interpret values through a saturating int16 datapath.
+
+    Models the paper's example of an immediate-INF/NaN source: "a fault in
+    one of these FFs causes int16 MAC operations to be performed instead of
+    bfloat16 operations" (Sec. 4.2.1).  Results are cast back to float32.
+    """
+    arr = np.asarray(x, dtype=np.float32)
+    clipped = np.clip(np.nan_to_num(arr, nan=0.0), -32768, 32767)
+    return np.trunc(clipped).astype(np.float32)
+
+
+class Precision:
+    """Named precision modes for accelerator compute units."""
+
+    FP32 = "fp32"
+    BF16 = "bf16"
+    FP16 = "fp16"
+    INT16 = "int16"
+
+    _CASTS = {
+        FP32: lambda x: np.asarray(x, dtype=np.float32),
+        BF16: to_bfloat16,
+        FP16: to_float16,
+        INT16: to_int16_saturating,
+    }
+
+    @classmethod
+    def cast(cls, x: np.ndarray | float, mode: str) -> np.ndarray:
+        """Quantize ``x`` according to the named precision mode."""
+        try:
+            fn = cls._CASTS[mode]
+        except KeyError:
+            raise ValueError(f"unknown precision mode: {mode!r}") from None
+        return fn(x)
+
+    @classmethod
+    def modes(cls) -> tuple[str, ...]:
+        return tuple(cls._CASTS)
+
+
+def quantized_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    input_precision: str = Precision.BF16,
+    accumulate_precision: str = Precision.FP32,
+) -> np.ndarray:
+    """Matrix multiply with accelerator-style mixed precision.
+
+    Inputs are quantized to ``input_precision`` (bfloat16 by default, as in
+    the paper's adopted NVDLA configuration), multiplied, and accumulated in
+    ``accumulate_precision`` (FP32 by default).
+    """
+    aq = Precision.cast(a, input_precision)
+    bq = Precision.cast(b, input_precision)
+    out = aq.astype(np.float32) @ bq.astype(np.float32)
+    return Precision.cast(out, accumulate_precision)
+
+
+def saturate_to_inf(x: np.ndarray) -> np.ndarray:
+    """Map float32 overflow (|x| > FLOAT32_MAX) to signed infinity.
+
+    NumPy already produces inf on overflow within float32 arithmetic; this
+    helper is used when faulty values are synthesized in float64 and need
+    the float32 overflow semantics the accelerator would exhibit.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    with np.errstate(over="ignore"):
+        out = arr.astype(np.float32)
+    big = np.abs(arr) > FLOAT32_MAX
+    if np.any(big):
+        out = np.where(big, np.sign(arr).astype(np.float32) * np.float32(np.inf), out)
+    return np.asarray(out, dtype=np.float32)

@@ -1,0 +1,6 @@
+"""Training engine: convergence recording and checkpoint utilities."""
+
+from repro.training.checkpoints import Checkpoint, CheckpointStore
+from repro.training.metrics import ConvergenceRecord
+
+__all__ = ["Checkpoint", "CheckpointStore", "ConvergenceRecord"]

@@ -1,0 +1,100 @@
+"""Training-state checkpoints.
+
+Used in two roles:
+
+* **Campaign baselines** — an FI campaign trains a workload fault-free to
+  the injection window once, snapshots the full trainer state, and resumes
+  from the snapshot for every injection experiment (this is how the
+  paper's artifact uses pre-trained checkpoints per epoch).
+* **The checkpointing baseline** of Sec. 5.3 — a checkpoint per epoch,
+  whose recovery cost (re-training from the last epoch boundary) the
+  paper compares against two-iteration re-execution (up to ~500x).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+
+class Checkpoint:
+    """A deep snapshot of trainer state at an iteration boundary."""
+
+    def __init__(self, iteration: int, replica_states: list[dict],
+                 optimizer_state: dict):
+        self.iteration = int(iteration)
+        self.replica_states = replica_states
+        self.optimizer_state = optimizer_state
+
+    @classmethod
+    def capture(cls, trainer) -> "Checkpoint":
+        """Snapshot a :class:`SyncDataParallelTrainer`."""
+        replica_states = [replica.state_dict() for replica in trainer.replicas]
+        return cls(
+            iteration=trainer.iteration,
+            replica_states=replica_states,
+            optimizer_state=copy.deepcopy(trainer.optimizer.state_dict()),
+        )
+
+    def restore(self, trainer) -> None:
+        """Load this snapshot back into a trainer (in place)."""
+        if len(trainer.replicas) != len(self.replica_states):
+            raise ValueError(
+                f"checkpoint has {len(self.replica_states)} replicas, "
+                f"trainer has {len(trainer.replicas)}"
+            )
+        for replica, state in zip(trainer.replicas, self.replica_states):
+            replica.load_state_dict(state)
+        trainer.optimizer.load_state_dict(copy.deepcopy(self.optimizer_state))
+        trainer.iteration = self.iteration
+
+    def nbytes(self) -> int:
+        """Approximate snapshot size (for overhead reporting)."""
+        total = 0
+        for state in self.replica_states:
+            total += sum(np.asarray(v).nbytes for v in state.values())
+        for value in self.optimizer_state.values():
+            if isinstance(value, list):
+                total += sum(np.asarray(v).nbytes for v in value)
+        return total
+
+
+class CheckpointStore:
+    """Rolling store of epoch-boundary checkpoints (the Sec. 5.3 baseline)."""
+
+    def __init__(self, every: int, keep: int = 3):
+        if every <= 0:
+            raise ValueError(f"checkpoint interval must be positive: {every}")
+        self.every = int(every)
+        self.keep = int(keep)
+        self.checkpoints: list[Checkpoint] = []
+        #: Wall-clock seconds spent capturing checkpoints (overhead metric).
+        self.capture_seconds = 0.0
+
+    def maybe_capture(self, trainer) -> Checkpoint | None:
+        """Capture a checkpoint if the trainer sits on a boundary."""
+        if trainer.iteration % self.every != 0:
+            return None
+        import time
+
+        start = time.perf_counter()
+        ckpt = Checkpoint.capture(trainer)
+        self.capture_seconds += time.perf_counter() - start
+        self.checkpoints.append(ckpt)
+        if len(self.checkpoints) > self.keep:
+            self.checkpoints.pop(0)
+        return ckpt
+
+    def latest_before(self, iteration: int) -> Checkpoint | None:
+        """Most recent checkpoint strictly before ``iteration``."""
+        best = None
+        for ckpt in self.checkpoints:
+            if ckpt.iteration < iteration and (best is None or ckpt.iteration > best.iteration):
+                best = ckpt
+        return best
+
+    # Hook interface: capture on iteration boundaries automatically.
+    def before_iteration(self, trainer, iteration: int) -> None:
+        """Trainer hook: capture on iteration boundaries."""
+        self.maybe_capture(trainer)

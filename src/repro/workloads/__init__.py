@@ -1,0 +1,6 @@
+"""The paper's Table 2 workload zoo (miniaturized)."""
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.registry import WORKLOAD_BUILDERS, build_workload, workload_names
+
+__all__ = ["WORKLOAD_BUILDERS", "WorkloadSpec", "build_workload", "workload_names"]

@@ -1,0 +1,64 @@
+"""YOLO-style detection workload (Table 2's Yolov3/VOC12 row, miniaturized)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.detection import detection_cell_accuracy, make_detection_dataset
+from repro.data.synthetic import Dataset
+from repro.nn.losses import DetectionLoss
+from repro.optim import Adam
+from repro.workloads.base import WorkloadSpec
+
+NUM_CLASSES = 4
+GRID = 4
+
+
+def build_yolo_model(seed: int, bn_momentum: float = 0.9) -> nn.Module:
+    """Tiny single-scale YOLO: conv/BN/LeakyReLU backbone + 1x1 head.
+
+    Input 16x16 -> grid 4x4; head outputs (5 + K) channels per cell.
+    """
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(3, 8, 3, rng, use_bias=False),
+        nn.BatchNorm(8, momentum=bn_momentum),
+        nn.LeakyReLU(0.1),
+        nn.Conv2D(8, 16, 3, rng, stride=2, use_bias=False),
+        nn.BatchNorm(16, momentum=bn_momentum),
+        nn.LeakyReLU(0.1),
+        nn.Conv2D(16, 16, 3, rng, stride=2, use_bias=False),
+        nn.BatchNorm(16, momentum=bn_momentum),
+        nn.LeakyReLU(0.1),
+        nn.Conv2D(16, 5 + NUM_CLASSES, 1, rng, padding=0),
+    )
+
+
+def _detection_data(size: str, seed: int) -> tuple[Dataset, Dataset]:
+    num_samples = {"tiny": 128, "small": 320}[size]
+    train = make_detection_dataset(
+        num_samples=num_samples, num_classes=NUM_CLASSES, image_size=16,
+        grid_size=GRID, seed=seed,
+    )
+    test = make_detection_dataset(
+        num_samples=max(num_samples // 4, 32), num_classes=NUM_CLASSES,
+        image_size=16, grid_size=GRID, seed=seed + 10_000,
+    )
+    return train, test
+
+
+def yolo(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    train, test = _detection_data(size, seed)
+    return WorkloadSpec(
+        name="yolo",
+        model_fn=build_yolo_model,
+        loss_fn=lambda: DetectionLoss(num_classes=NUM_CLASSES),
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=detection_cell_accuracy,
+        batch_size=32,
+        iterations={"tiny": 60, "small": 240}[size],
+        notes="Single-scale detection head; Adam; cell-accuracy metric",
+    )

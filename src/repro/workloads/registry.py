@@ -1,0 +1,53 @@
+"""Workload registry: the paper's Table 2 zoo by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.detect import yolo
+from repro.workloads.sequence import multigrid, transformer
+from repro.workloads.vision import (
+    densenet,
+    efficientnet,
+    googlenet,
+    nfnet,
+    resnet,
+    resnet_largedecay,
+    resnet_nobn,
+    resnet_sgd,
+)
+
+#: All workload builders, keyed by Table 2 name.
+WORKLOAD_BUILDERS: dict[str, Callable[..., WorkloadSpec]] = {
+    "resnet": resnet,
+    "resnet_nobn": resnet_nobn,
+    "resnet_sgd": resnet_sgd,
+    "resnet_largedecay": resnet_largedecay,
+    "densenet": densenet,
+    "googlenet": googlenet,
+    "efficientnet": efficientnet,
+    "nfnet": nfnet,
+    "yolo": yolo,
+    "multigrid": multigrid,
+    "transformer": transformer,
+}
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOAD_BUILDERS)
+
+
+def build_workload(name: str, size: str = "small", seed: int = 0) -> WorkloadSpec:
+    """Build a Table 2 workload by name.
+
+    ``size`` selects the scale: ``"tiny"`` for unit tests, ``"small"`` for
+    campaigns and benches.
+    """
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    return builder(size=size, seed=seed)

@@ -1,0 +1,83 @@
+"""Sequence workloads: multigrid-neural-memory stand-in (LSTM over maze
+observations) and the Transformer translation stand-in (Table 2 rows 6-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.maze import make_maze_dataset
+from repro.data.synthetic import Dataset
+from repro.data.translation import make_translation_dataset
+from repro.nn.losses import SoftmaxCrossEntropy, SequenceCrossEntropy, accuracy, sequence_accuracy
+from repro.optim import Adam
+from repro.workloads.base import WorkloadSpec
+
+VOCAB_SIZE = 24
+SEQ_LEN = 10
+
+
+def build_multigrid_model(seed: int, hidden: int = 32) -> nn.Module:
+    """Recurrent-memory navigator: LSTM integrates move observations."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.LSTM(4, hidden, rng),
+        nn.LastStep(),
+        nn.Dense(hidden, 4, rng),
+    )
+
+
+def multigrid(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    num_samples = {"tiny": 192, "small": 512}[size]
+    train = make_maze_dataset(num_samples=num_samples, seed=seed)
+    test = make_maze_dataset(num_samples=max(num_samples // 4, 48), seed=seed + 10_000)
+    return WorkloadSpec(
+        name="multigrid",
+        model_fn=build_multigrid_model,
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations={"tiny": 60, "small": 300}[size],
+        has_batchnorm=False,
+        notes="LSTM memory over maze observations; Adam",
+    )
+
+
+def build_transformer_model(seed: int, dim: int = 32, heads: int = 4) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Embedding(VOCAB_SIZE, dim, rng),
+        nn.PositionalEncoding(dim, max_len=SEQ_LEN * 2),
+        nn.TransformerEncoderLayer(dim, heads, dim * 2, rng),
+        nn.TransformerEncoderLayer(dim, heads, dim * 2, rng),
+        nn.Dense(dim, VOCAB_SIZE, rng),
+    )
+
+
+def transformer(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    num_samples = {"tiny": 192, "small": 512}[size]
+    train = make_translation_dataset(
+        num_samples=num_samples, vocab_size=VOCAB_SIZE, sequence_length=SEQ_LEN, seed=seed
+    )
+    test = make_translation_dataset(
+        num_samples=max(num_samples // 4, 48), vocab_size=VOCAB_SIZE,
+        sequence_length=SEQ_LEN, seed=seed + 10_000,
+    )
+    # The target mapping (permutation) must be shared between splits.
+    test.targets = train.permutation[test.inputs[:, ::-1] - 1]
+    return WorkloadSpec(
+        name="transformer",
+        model_fn=build_transformer_model,
+        loss_fn=lambda: SequenceCrossEntropy(pad_id=0),
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=lambda out, tgt: sequence_accuracy(out, tgt, pad_id=0),
+        batch_size=32,
+        iterations={"tiny": 150, "small": 400}[size],
+        has_batchnorm=False,
+        notes="2-layer pre-LN Transformer on token reversal-translation; Adam",
+    )

@@ -1,0 +1,235 @@
+"""Vision workloads: the four ResNet configurations, DenseNet,
+EfficientNet, and NFNet rows of Table 2 (miniaturized; see DESIGN.md).
+
+The four ResNet configurations drive the paper's outcome taxonomy:
+
+* ``resnet``            — BatchNorm after every conv, Adam (baseline);
+* ``resnet_nobn``       — no BatchNorm (SharpSlowDegrade becomes reachable);
+* ``resnet_sgd``        — SGD optimizer (SharpDegrade / short-term
+  INFs-NaNs become reachable, SlowDegrade does not);
+* ``resnet_largedecay`` — BatchNorm decay 0.99 (LowTestAccuracy: faulty
+  mvar values are corrected too slowly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.data.synthetic import Dataset, make_image_classification, train_test_split
+from repro.nn.losses import SoftmaxCrossEntropy, accuracy
+from repro.optim import SGD, Adam
+from repro.workloads.base import WorkloadSpec
+
+
+def _image_data(size: str, seed: int) -> tuple[Dataset, Dataset]:
+    num_samples = {"tiny": 192, "small": 512}[size]
+    data = make_image_classification(
+        num_samples=num_samples, num_classes=8, image_size=16, channels=3, seed=seed
+    )
+    return train_test_split(data)
+
+
+def _iterations(size: str) -> int:
+    return {"tiny": 60, "small": 300}[size]
+
+
+def build_resnet_model(
+    seed: int, use_bn: bool = True, bn_momentum: float = 0.9, num_classes: int = 8
+) -> nn.Module:
+    """Miniature ResNet18-style model: stem + 2 residual stages."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.conv_bn_act(3, 8, rng, use_bn=use_bn, bn_momentum=bn_momentum),
+        nn.ResidualBlock(8, 16, rng, stride=2, use_bn=use_bn, bn_momentum=bn_momentum),
+        nn.ResidualBlock(16, 16, rng, use_bn=use_bn, bn_momentum=bn_momentum),
+        nn.GlobalAvgPool2D(),
+        nn.Dense(16, num_classes, rng),
+    )
+
+
+def _resnet_variant(
+    name: str,
+    size: str,
+    seed: int,
+    use_bn: bool,
+    bn_momentum: float,
+    optimizer: str,
+    notes: str,
+) -> WorkloadSpec:
+    train, test = _image_data(size, seed)
+
+    def optimizer_fn(params):
+        if optimizer == "adam":
+            return Adam(params, lr=3e-3)
+        return SGD(params, lr=0.05)
+
+    return WorkloadSpec(
+        name=name,
+        model_fn=lambda s: build_resnet_model(s, use_bn=use_bn, bn_momentum=bn_momentum),
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=optimizer_fn,
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations=_iterations(size),
+        bn_momentum=bn_momentum,
+        has_batchnorm=use_bn,
+        notes=notes,
+    )
+
+
+def resnet(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    return _resnet_variant(
+        "resnet", size, seed, use_bn=True, bn_momentum=0.9, optimizer="adam",
+        notes="BatchNorm after every conv; Adam (Table 2 config 1)",
+    )
+
+
+def resnet_nobn(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    return _resnet_variant(
+        "resnet_nobn", size, seed, use_bn=False, bn_momentum=0.9, optimizer="adam",
+        notes="No BatchNorm layers; Adam (Table 2 config 2)",
+    )
+
+
+def resnet_sgd(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    return _resnet_variant(
+        "resnet_sgd", size, seed, use_bn=True, bn_momentum=0.9, optimizer="sgd",
+        notes="SGD optimizer, no gradient normalization (Table 2 config 3)",
+    )
+
+
+def resnet_largedecay(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    return _resnet_variant(
+        "resnet_largedecay", size, seed, use_bn=True, bn_momentum=0.99, optimizer="adam",
+        notes="BatchNorm decay factor 0.99 (Table 2 config 4)",
+    )
+
+
+def build_densenet_model(seed: int, bn_momentum: float = 0.9, num_classes: int = 8) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(3, 8, 3, rng, use_bias=False),
+        nn.DenseBlock(8, 4, 3, rng, bn_momentum=bn_momentum),     # -> 20 channels
+        nn.TransitionLayer(20, 10, rng, bn_momentum=bn_momentum),  # -> 10 ch, 8x8
+        nn.DenseBlock(10, 4, 2, rng, bn_momentum=bn_momentum),    # -> 18 channels
+        nn.BatchNorm(18, momentum=bn_momentum),
+        nn.ReLU(),
+        nn.GlobalAvgPool2D(),
+        nn.Dense(18, num_classes, rng),
+    )
+
+
+def densenet(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    train, test = _image_data(size, seed)
+    return WorkloadSpec(
+        name="densenet",
+        model_fn=build_densenet_model,
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations=_iterations(size),
+        notes="Dense connectivity + BatchNorm; Adam",
+    )
+
+
+def build_efficientnet_model(seed: int, bn_momentum: float = 0.9, num_classes: int = 8) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(3, 8, 3, rng, stride=2, use_bias=False),
+        nn.BatchNorm(8, momentum=bn_momentum),
+        nn.SiLU(),
+        nn.MBConvBlock(8, 8, rng, bn_momentum=bn_momentum),
+        nn.MBConvBlock(8, 16, rng, stride=2, bn_momentum=bn_momentum),
+        nn.GlobalAvgPool2D(),
+        nn.Dense(16, num_classes, rng),
+    )
+
+
+def efficientnet(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    train, test = _image_data(size, seed)
+    return WorkloadSpec(
+        name="efficientnet",
+        model_fn=build_efficientnet_model,
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations=_iterations(size),
+        notes="MBConv blocks with squeeze-excite; Adam",
+    )
+
+
+def build_nfnet_model(seed: int, num_classes: int = 8) -> nn.Module:
+    """Normalizer-free network: variance control via ScaledReLU + scaled
+    residuals instead of BatchNorm (no moving statistics anywhere)."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(3, 8, 3, rng),
+        nn.ScaledReLU(),
+        nn.NFBlock(8, rng),
+        nn.Conv2D(8, 16, 3, rng, stride=2),
+        nn.ScaledReLU(),
+        nn.NFBlock(16, rng),
+        nn.GlobalAvgPool2D(),
+        nn.Dense(16, num_classes, rng),
+    )
+
+
+def build_googlenet_model(seed: int, bn_momentum: float = 0.9, num_classes: int = 8) -> nn.Module:
+    """Miniature GoogLeNet: stem + two inception blocks with a transition.
+
+    GoogleNet is one of the five models the paper's Sec. 3.2.3 validation
+    covers; its branch-and-merge dataflow gives faults parallel paths.
+    """
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv2D(3, 8, 3, rng, use_bias=False),
+        nn.BatchNorm(8, momentum=bn_momentum),
+        nn.ReLU(),
+        nn.InceptionBlock(8, 4, rng, bn_momentum=bn_momentum),   # -> 16 ch
+        nn.MaxPool2D(2),
+        nn.InceptionBlock(16, 4, rng, bn_momentum=bn_momentum),  # -> 16 ch
+        nn.GlobalAvgPool2D(),
+        nn.Dense(16, num_classes, rng),
+    )
+
+
+def googlenet(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    train, test = _image_data(size, seed)
+    return WorkloadSpec(
+        name="googlenet",
+        model_fn=build_googlenet_model,
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations=_iterations(size),
+        notes="Inception blocks (Sec. 3.2.3 validation model set); Adam",
+    )
+
+
+def nfnet(size: str = "small", seed: int = 0) -> WorkloadSpec:
+    train, test = _image_data(size, seed)
+    return WorkloadSpec(
+        name="nfnet",
+        model_fn=build_nfnet_model,
+        loss_fn=SoftmaxCrossEntropy,
+        optimizer_fn=lambda params: Adam(params, lr=3e-3),
+        train_data=train,
+        test_data=test,
+        metric=accuracy,
+        batch_size=32,
+        iterations=_iterations(size),
+        has_batchnorm=False,
+        notes="Normalizer-free residual blocks; Adam",
+    )

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Tests run at the "tiny" workload scale; anything that trains does so for
+a handful of iterations.  Trainer-producing fixtures are factories so
+each test gets fresh, mutable state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import SyncDataParallelTrainer
+from repro.workloads import build_workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_resnet_spec():
+    return build_workload("resnet", size="tiny", seed=0)
+
+
+@pytest.fixture
+def make_trainer():
+    """Factory building a fresh trainer for a tiny workload."""
+
+    def factory(workload: str = "resnet", num_devices: int = 2, seed: int = 0,
+                test_every: int = 0, **kwargs) -> SyncDataParallelTrainer:
+        spec = build_workload(workload, size="tiny", seed=seed)
+        return SyncDataParallelTrainer(
+            spec, num_devices=num_devices, seed=seed, test_every=test_every, **kwargs
+        )
+
+    return factory
+
+
+def directional_gradcheck(model, x, loss_fn, y, rng, eps: float = 1e-2) -> float:
+    """Relative error between analytic and numeric directional derivative.
+
+    More robust than per-element checks in float32: the directional
+    derivative has O(1) magnitude, so float noise stays small relative to
+    the signal.
+    """
+    model.train()
+    loss_fn.forward(model.forward(x), y)
+    model.zero_grad()
+    model.backward(loss_fn.backward())
+    params = list(model.parameters())
+    dirs = [rng.normal(size=p.data.shape).astype(np.float32) for p in params]
+    analytic = sum(float(np.sum(p.grad * d)) for p, d in zip(params, dirs))
+    orig = [p.data.copy() for p in params]
+    for p, d, o in zip(params, dirs, orig):
+        p.data = o + eps * d
+    l1 = loss_fn.forward(model.forward(x), y)
+    for p, d, o in zip(params, dirs, orig):
+        p.data = o - eps * d
+    l2 = loss_fn.forward(model.forward(x), y)
+    for p, o in zip(params, orig):
+        p.data = o
+    numeric = (l1 - l2) / (2 * eps)
+    return abs(numeric - analytic) / max(1e-8, abs(numeric) + abs(analytic))

@@ -1,0 +1,136 @@
+"""Tests for attention / Transformer / LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import directional_gradcheck
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        tokens = np.array([[1, 2], [3, 1]])
+        out = emb.forward(tokens)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 0], emb.weight.data[1])
+
+    def test_backward_accumulates_duplicates(self, rng):
+        emb = nn.Embedding(10, 4, rng)
+        tokens = np.array([[1, 1]])
+        emb.forward(tokens)
+        emb.zero_grad()
+        emb.backward(np.ones((1, 2, 4), dtype=np.float32))
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestPositionalEncoding:
+    def test_deterministic_and_bounded(self):
+        pe = nn.PositionalEncoding(8, max_len=16)
+        assert np.all(np.abs(pe.table) <= 1.0)
+        x = np.zeros((1, 5, 8), dtype=np.float32)
+        out = pe.forward(x)
+        assert np.array_equal(out[0], pe.table[:5])
+
+    def test_backward_identity(self, rng):
+        pe = nn.PositionalEncoding(8)
+        g = rng.normal(size=(2, 4, 8)).astype(np.float32)
+        assert np.array_equal(pe.backward(g), g)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = nn.MultiHeadSelfAttention(16, 4, rng)
+        x = rng.normal(size=(2, 6, 16)).astype(np.float32)
+        assert attn.forward(x).shape == (2, 6, 16)
+
+    def test_dim_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(10, 3, rng)
+
+    def test_causal_mask_blocks_future(self, rng):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng, causal=True)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        out1 = attn.forward(x)
+        # Changing a later position must not affect earlier outputs.
+        x2 = x.copy()
+        x2[0, 4] += 10.0
+        out2 = attn.forward(x2)
+        assert np.allclose(out1[0, :4], out2[0, :4], atol=1e-5)
+
+    def test_non_causal_attends_everywhere(self, rng):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng, causal=False)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        out1 = attn.forward(x)
+        x2 = x.copy()
+        x2[0, 4] += 10.0
+        out2 = attn.forward(x2)
+        assert not np.allclose(out1[0, 0], out2[0, 0], atol=1e-5)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.MultiHeadSelfAttention(8, 2, rng), nn.Dense(8, 3, rng))
+        x = rng.normal(size=(3, 4, 8)).astype(np.float32)
+        y = rng.integers(0, 3, size=(3, 4))
+        loss = nn.SequenceCrossEntropy(pad_id=-1)
+        assert directional_gradcheck(model, x, loss, y, rng, eps=2e-3) < 0.05
+
+
+class TestTransformerEncoderLayer:
+    def test_shape_preserved(self, rng):
+        layer = nn.TransformerEncoderLayer(16, 4, 32, rng)
+        x = rng.normal(size=(2, 6, 16)).astype(np.float32)
+        assert layer.forward(x).shape == x.shape
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(
+            nn.TransformerEncoderLayer(8, 2, 16, rng), nn.Dense(8, 4, rng)
+        )
+        x = rng.normal(size=(2, 5, 8)).astype(np.float32)
+        y = rng.integers(0, 4, size=(2, 5))
+        loss = nn.SequenceCrossEntropy(pad_id=-1)
+        assert directional_gradcheck(model, x, loss, y, rng, eps=2e-3) < 0.05
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        lstm = nn.LSTM(4, 8, rng)
+        out = lstm.forward(rng.normal(size=(3, 6, 4)).astype(np.float32))
+        assert out.shape == (3, 6, 8)
+
+    def test_state_carries_information(self, rng):
+        """Changing an early input changes later outputs (memory)."""
+        lstm = nn.LSTM(4, 8, rng)
+        x = rng.normal(size=(1, 6, 4)).astype(np.float32)
+        out1 = lstm.forward(x)
+        x2 = x.copy()
+        x2[0, 0] += 5.0
+        out2 = lstm.forward(x2)
+        assert not np.allclose(out1[0, -1], out2[0, -1], atol=1e-5)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.LSTM(3, 6, rng), nn.LastStep(), nn.Dense(6, 3, rng))
+        x = rng.normal(size=(4, 5, 3)).astype(np.float32)
+        y = rng.integers(0, 3, size=4)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        lstm = nn.LSTM(4, 8, rng)
+        assert np.all(lstm.bias.data[8:16] == 1.0)
+        assert np.all(lstm.bias.data[:8] == 0.0)
+
+
+class TestLastStep:
+    def test_selects_last(self, rng):
+        x = rng.normal(size=(2, 5, 3)).astype(np.float32)
+        layer = nn.LastStep()
+        assert np.array_equal(layer.forward(x), x[:, -1])
+
+    def test_backward_routes_to_last(self, rng):
+        layer = nn.LastStep()
+        x = rng.normal(size=(2, 5, 3)).astype(np.float32)
+        layer.forward(x)
+        g = layer.backward(np.ones((2, 3), dtype=np.float32))
+        assert np.all(g[:, -1] == 1.0)
+        assert np.all(g[:, :-1] == 0.0)

@@ -1,0 +1,118 @@
+"""Tests for bit-level float manipulation (repro.tensor.bits)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.bits import (
+    bit_field,
+    bits_to_float32,
+    flip_bfloat16_bit,
+    flip_float32_bit,
+    float32_to_bits,
+    is_upper_exponent_bit,
+    random_float32_pattern,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestBitConversions:
+    @given(finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, x):
+        assert bits_to_float32(float32_to_bits(np.float32(x))) == np.float32(x)
+
+    def test_known_encodings(self):
+        assert float32_to_bits(np.float32(1.0)) == 0x3F800000
+        assert float32_to_bits(np.float32(-2.0)) == 0xC0000000
+        assert bits_to_float32(np.uint32(0x7F800000)) == np.inf
+
+
+class TestBitFlips:
+    @given(finite_floats, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=300, deadline=None)
+    def test_flip_is_involution(self, x, bit):
+        flipped = flip_float32_bit(np.float32(x), bit)
+        back = flip_float32_bit(flipped, bit)
+        assert float32_to_bits(back) == float32_to_bits(np.float32(x))
+
+    def test_sign_flip(self):
+        assert float(flip_float32_bit(np.float32(1.5), 31)) == -1.5
+
+    def test_top_exponent_flip_explodes_small_values(self):
+        # |x| < 2 has MSB exponent bit 0; flipping it multiplies by 2^128.
+        out = float(flip_float32_bit(np.float32(1.0), 30))
+        assert out > 1e38 or np.isinf(out)
+
+    def test_mantissa_flip_small_change(self):
+        out = float(flip_float32_bit(np.float32(1.0), 0))
+        assert abs(out - 1.0) < 1e-6
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            flip_float32_bit(1.0, 32)
+        with pytest.raises(ValueError):
+            flip_bfloat16_bit(1.0, 16)
+
+    @given(finite_floats, st.integers(min_value=0, max_value=15))
+    @settings(max_examples=200, deadline=None)
+    def test_bfloat16_flip_involution_on_truncated(self, x, bit):
+        from repro.tensor.dtypes import to_bfloat16
+
+        # Truncate-then-flip twice returns the truncated value.
+        base = np.float32(x)
+        flipped = flip_bfloat16_bit(base, bit)
+        back = flip_bfloat16_bit(flipped, bit)
+        truncated = bits_to_float32(float32_to_bits(base) & np.uint32(0xFFFF0000))
+        assert float32_to_bits(back) == float32_to_bits(truncated)
+
+
+class TestBitFields:
+    def test_float32_fields(self):
+        assert bit_field(31) == "sign"
+        assert bit_field(30) == "exponent"
+        assert bit_field(23) == "exponent"
+        assert bit_field(22) == "mantissa"
+        assert bit_field(0) == "mantissa"
+
+    def test_bfloat16_fields(self):
+        assert bit_field(15, "bfloat16") == "sign"
+        assert bit_field(14, "bfloat16") == "exponent"
+        assert bit_field(6, "bfloat16") == "mantissa"
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            bit_field(0, "fp8")
+
+    def test_upper_exponent_bits(self):
+        # Sec. 4.3.1's "upper two exponent bits" of float32: bits 29, 30.
+        assert is_upper_exponent_bit(30)
+        assert is_upper_exponent_bit(29)
+        assert not is_upper_exponent_bit(28)
+        assert not is_upper_exponent_bit(31)  # sign
+        assert is_upper_exponent_bit(14, "bfloat16")
+        assert is_upper_exponent_bit(13, "bfloat16")
+        assert not is_upper_exponent_bit(12, "bfloat16")
+
+
+class TestRandomPatterns:
+    def test_shape_and_dtype(self, rng):
+        out = random_float32_pattern(rng, 100)
+        assert out.shape == (100,)
+        assert out.dtype == np.float32
+
+    def test_spans_dynamic_range(self):
+        # Table 1 group 1: "random faulty values that can span the entire
+        # data precision dynamic range".
+        rng = np.random.default_rng(0)
+        out = random_float32_pattern(rng, 10_000)
+        finite = out[np.isfinite(out)]
+        assert np.abs(finite).max() > 1e30
+        assert np.abs(finite[finite != 0.0]).min() < 1e-30
+
+    def test_deterministic_given_seed(self):
+        a = random_float32_pattern(np.random.default_rng(7), 64)
+        b = random_float32_pattern(np.random.default_rng(7), 64)
+        assert np.array_equal(a, b, equal_nan=True)

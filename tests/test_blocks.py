@@ -1,0 +1,198 @@
+"""Tests for composite blocks (residual, dense, SE, MBConv, NF)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from tests.conftest import directional_gradcheck
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shape(self, rng):
+        block = nn.ResidualBlock(4, 4, rng)
+        assert not block.has_projection
+        out = block.forward(rng.normal(size=(2, 4, 6, 6)).astype(np.float32))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_projection_shortcut(self, rng):
+        block = nn.ResidualBlock(4, 8, rng, stride=2)
+        assert block.has_projection
+        out = block.forward(rng.normal(size=(2, 4, 6, 6)).astype(np.float32))
+        assert out.shape == (2, 8, 3, 3)
+
+    def test_no_bn_variant_has_no_batchnorm(self, rng):
+        block = nn.ResidualBlock(4, 4, rng, use_bn=False)
+        assert not any(isinstance(m, nn.BatchNorm) for m in block.modules())
+
+    def test_gradcheck_with_bn(self, rng):
+        model = nn.Sequential(nn.ResidualBlock(3, 6, rng, stride=2),
+                              nn.GlobalAvgPool2D(), nn.Dense(6, 3, rng))
+        x = rng.normal(size=(6, 3, 6, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=6)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+    def test_gradcheck_no_bn(self, rng):
+        model = nn.Sequential(nn.ResidualBlock(3, 6, rng, stride=2, use_bn=False),
+                              nn.GlobalAvgPool2D(), nn.Dense(6, 3, rng))
+        x = rng.normal(size=(6, 3, 6, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=6)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+    def test_bn_momentum_propagates(self, rng):
+        block = nn.ResidualBlock(4, 4, rng, bn_momentum=0.99)
+        assert block.bn1.momentum == 0.99
+
+
+class TestDenseBlock:
+    def test_channel_growth(self, rng):
+        block = nn.DenseBlock(4, growth_rate=3, num_layers=2, rng=rng)
+        out = block.forward(rng.normal(size=(2, 4, 5, 5)).astype(np.float32))
+        assert out.shape == (2, 10, 5, 5)
+        assert block.out_channels == 10
+
+    def test_input_preserved_in_output(self, rng):
+        block = nn.DenseBlock(2, growth_rate=2, num_layers=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        out = block.forward(x)
+        assert np.array_equal(out[:, :2], x)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.DenseBlock(3, 2, 2, rng), nn.GlobalAvgPool2D(),
+                              nn.Dense(7, 3, rng))
+        x = rng.normal(size=(6, 3, 5, 5)).astype(np.float32)
+        y = rng.integers(0, 3, size=6)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+
+class TestTransitionLayer:
+    def test_halves_spatial(self, rng):
+        layer = nn.TransitionLayer(6, 3, rng)
+        out = layer.forward(rng.normal(size=(2, 6, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 3, 4, 4)
+
+
+class TestSqueezeExcite:
+    def test_output_shape(self, rng):
+        se = nn.SqueezeExcite(8, rng)
+        x = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        assert se.forward(x).shape == x.shape
+
+    def test_gate_bounded(self, rng):
+        se = nn.SqueezeExcite(8, rng)
+        x = rng.normal(size=(2, 8, 4, 4)).astype(np.float32) * 100
+        out = se.forward(x)
+        # Gate in (0, 1): |out| <= |x| per element.
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-5)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.Conv2D(2, 4, 3, rng), nn.SqueezeExcite(4, rng),
+                              nn.GlobalAvgPool2D(), nn.Dense(4, 2, rng))
+        x = rng.normal(size=(4, 2, 5, 5)).astype(np.float32)
+        y = rng.integers(0, 2, size=4)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+
+class TestMBConv:
+    def test_skip_only_when_shapes_match(self, rng):
+        assert nn.MBConvBlock(4, 4, rng).has_skip
+        assert not nn.MBConvBlock(4, 8, rng).has_skip
+        assert not nn.MBConvBlock(4, 4, rng, stride=2).has_skip
+
+    def test_forward_shape(self, rng):
+        block = nn.MBConvBlock(4, 8, rng, stride=2)
+        out = block.forward(rng.normal(size=(2, 4, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+
+class TestNFBlock:
+    def test_no_batchnorm(self, rng):
+        block = nn.NFBlock(4, rng)
+        assert not any(isinstance(m, nn.BatchNorm) for m in block.modules())
+        assert all(m.extra_state() == {} for m in block.modules())
+
+    def test_residual_dominates_at_small_alpha(self, rng):
+        block = nn.NFBlock(4, rng, alpha=0.0)
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        assert np.allclose(block.forward(x), x)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.NFBlock(3, rng), nn.GlobalAvgPool2D(),
+                              nn.Dense(3, 2, rng))
+        x = rng.normal(size=(4, 3, 5, 5)).astype(np.float32)
+        y = rng.integers(0, 2, size=4)
+        assert directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng,
+                                     eps=2e-3) < 0.05
+
+
+class TestConvBnAct:
+    def test_with_and_without_bn(self, rng):
+        with_bn = nn.conv_bn_act(3, 8, rng, use_bn=True)
+        without = nn.conv_bn_act(3, 8, rng, use_bn=False)
+        assert any(isinstance(m, nn.BatchNorm) for m in with_bn.modules())
+        assert not any(isinstance(m, nn.BatchNorm) for m in without.modules())
+
+
+class TestInceptionBlock:
+    def test_channel_merge(self, rng):
+        block = nn.InceptionBlock(3, 4, rng)
+        out = block.forward(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        assert out.shape == (2, 16, 6, 6)
+        assert block.out_channels == 16
+
+    def test_pool_adjoint(self, rng):
+        """<pool(x), y> == <x, pool_adjoint(y)> for the zero-padded 3x3
+        average pool used by the pool branch."""
+        block = nn.InceptionBlock(3, 4, rng)
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        y = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        lhs = float(np.sum(block._pool(x) * y))
+        n, c, h, w = x.shape
+        padded = np.zeros((n, c, h + 2, w + 2), dtype=np.float32)
+        for dy in range(3):
+            for dx in range(3):
+                padded[:, :, dy:dy + h, dx:dx + w] += y / 9.0
+        rhs = float(np.sum(x * padded[:, :, 1:1 + h, 1:1 + w]))
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_input_gradient(self, rng):
+        """Directional check of the block's input gradient (parameter
+        gradients are covered by the exhaustive per-parameter check)."""
+        block = nn.InceptionBlock(3, 4, rng)
+        x = rng.normal(size=(2, 3, 5, 5)).astype(np.float32)
+        weights = rng.normal(size=block.forward(x).shape).astype(np.float32)
+
+        def value(z):
+            return float(np.sum(block.forward(z) * weights))
+
+        block.forward(x)
+        g = block.backward(weights)
+        d = rng.normal(size=x.shape).astype(np.float32)
+        eps = 1e-3
+        numeric = (value(x + eps * d) - value(x - eps * d)) / (2 * eps)
+        analytic = float(np.sum(g * d))
+        assert analytic == pytest.approx(numeric, rel=0.02)
+
+    def test_parameter_gradients(self, rng):
+        block = nn.InceptionBlock(2, 3, rng)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float32)
+        weights = rng.normal(size=block.forward(x).shape).astype(np.float32)
+        block.forward(x)
+        block.zero_grad()
+        block.backward(weights)
+        eps = 1e-3
+        for name, p in block.named_parameters():
+            flat = p.data.reshape(-1)
+            gflat = p.grad.reshape(-1)
+            i = int(np.abs(gflat).argmax())
+            old = flat[i]
+            flat[i] = old + eps
+            l1 = float(np.sum(block.forward(x) * weights))
+            flat[i] = old - eps
+            l2 = float(np.sum(block.forward(x) * weights))
+            flat[i] = old
+            numeric = (l1 - l2) / (2 * eps)
+            assert gflat[i] == pytest.approx(numeric, rel=0.02, abs=1e-3), name

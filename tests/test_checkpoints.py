@@ -1,0 +1,85 @@
+"""Tests for checkpoint capture/restore."""
+
+import numpy as np
+import pytest
+
+from repro.training.checkpoints import Checkpoint, CheckpointStore
+
+
+class TestCheckpoint:
+    def test_capture_restore_exact(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        trainer.train(5)
+        ckpt = Checkpoint.capture(trainer)
+        before = {n: p.data.copy() for n, p in trainer.master.named_parameters()}
+        opt_m0 = trainer.optimizer.m[0].copy()
+        trainer.train(5)
+        ckpt.restore(trainer)
+        assert trainer.iteration == 5
+        for n, p in trainer.master.named_parameters():
+            assert np.array_equal(p.data, before[n])
+        assert np.array_equal(trainer.optimizer.m[0], opt_m0)
+
+    def test_restore_resumes_identically(self, make_trainer):
+        """Training from a restored checkpoint replays the exact same
+        trajectory (deterministic loader + reseeded random layers)."""
+        trainer = make_trainer(num_devices=2)
+        trainer.train(4)
+        ckpt = Checkpoint.capture(trainer)
+        trainer.train(3)
+        after_first = {n: p.data.copy() for n, p in trainer.master.named_parameters()}
+        ckpt.restore(trainer)
+        trainer.record.truncate_to(4)
+        trainer.train(3)
+        for n, p in trainer.master.named_parameters():
+            assert np.array_equal(p.data, after_first[n])
+
+    def test_replica_count_mismatch(self, make_trainer):
+        t2 = make_trainer(num_devices=2)
+        t3 = make_trainer(num_devices=3)
+        t2.train(1)
+        ckpt = Checkpoint.capture(t2)
+        with pytest.raises(ValueError):
+            ckpt.restore(t3)
+
+    def test_nbytes_positive(self, make_trainer):
+        trainer = make_trainer()
+        trainer.train(1)
+        assert Checkpoint.capture(trainer).nbytes() > 1000
+
+
+class TestCheckpointStore:
+    def test_captures_on_boundaries(self, make_trainer):
+        trainer = make_trainer()
+        store = CheckpointStore(every=3, keep=10)
+        trainer.add_hook(store)
+        trainer.train(7)
+        assert [c.iteration for c in store.checkpoints] == [0, 3, 6]
+
+    def test_keep_limit(self, make_trainer):
+        trainer = make_trainer()
+        store = CheckpointStore(every=2, keep=2)
+        trainer.add_hook(store)
+        trainer.train(9)
+        assert len(store.checkpoints) == 2
+        assert store.checkpoints[-1].iteration == 8
+
+    def test_latest_before(self, make_trainer):
+        trainer = make_trainer()
+        store = CheckpointStore(every=3, keep=10)
+        trainer.add_hook(store)
+        trainer.train(8)
+        assert store.latest_before(7).iteration == 6
+        assert store.latest_before(6).iteration == 3
+        assert store.latest_before(0) is None
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(every=0)
+
+    def test_capture_time_accounted(self, make_trainer):
+        trainer = make_trainer()
+        store = CheckpointStore(every=1)
+        trainer.add_hook(store)
+        trainer.train(3)
+        assert store.capture_seconds > 0

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "resnet"])
+        args.size = "tiny"
+        assert args.workload == "resnet"
+        assert args.iterations == 60
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "alexnet"])
+
+    def test_inject_fault_args(self):
+        args = build_parser().parse_args([
+            "inject", "resnet", "--group", "1", "--site", "2.conv1",
+            "--kind", "forward", "--iteration", "5",
+        ])
+        assert args.group == 1
+        assert args.site == "2.conv1"
+
+
+class TestCommands:
+    def test_train(self, capsys):
+        rc = main(["train", "resnet", "--iterations", "6", "--devices", "2",
+                   "--report-every", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resnet fault-free" in out
+        assert "iter     0" in out
+
+    def test_inject_reports_outcome(self, capsys):
+        rc = main(["inject", "resnet", "--group", "1", "--iteration", "4",
+                   "--iterations", "12", "--devices", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault effect:" in out
+        assert "outcome:" in out
+
+    def test_campaign(self, capsys):
+        rc = main(["campaign", "resnet", "--experiments", "3", "--devices", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "# campaign: resnet (3 experiments)" in out
+        assert "unexpected rate" in out
+
+    def test_validate(self, capsys):
+        rc = main(["validate", "--experiments", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "match rate 100.0%" in out
+
+    def test_mitigate_detects(self, capsys):
+        rc = main(["mitigate", "resnet", "--group", "1", "--iteration", "5",
+                   "--iterations", "20", "--devices", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "detected at iteration" in out
+        assert "re-executed from" in out
+
+    def test_datapath_bit_fault(self, capsys):
+        rc = main(["inject", "resnet", "--bit", "3", "--iteration", "4",
+                   "--iterations", "10", "--devices", "2"])
+        assert rc == 0
+        assert "outcome:" in capsys.readouterr().out

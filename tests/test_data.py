@@ -1,0 +1,170 @@
+"""Tests for datasets and the replayable loader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    BatchLoader,
+    Dataset,
+    detection_cell_accuracy,
+    make_detection_dataset,
+    make_image_classification,
+    make_maze_dataset,
+    make_translation_dataset,
+    train_test_split,
+)
+
+
+class TestImageClassification:
+    def test_shapes_and_normalization(self):
+        ds = make_image_classification(num_samples=128, num_classes=5, image_size=8)
+        assert ds.inputs.shape == (128, 3, 8, 8)
+        assert ds.targets.shape == (128,)
+        assert ds.num_classes == 5
+        # Algorithm 1 Property 2: zero mean, unit variance.
+        assert abs(ds.inputs.mean()) < 1e-3
+        assert ds.inputs.std() == pytest.approx(1.0, abs=1e-3)
+
+    def test_deterministic(self):
+        a = make_image_classification(num_samples=16, seed=3)
+        b = make_image_classification(num_samples=16, seed=3)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_classes_separable(self):
+        """Same-class samples are closer than cross-class on average."""
+        ds = make_image_classification(num_samples=200, num_classes=4, seed=0)
+        flat = ds.inputs.reshape(len(ds), -1)
+        same, cross = [], []
+        for i in range(0, 100, 5):
+            for j in range(i + 1, 100, 7):
+                d = float(np.linalg.norm(flat[i] - flat[j]))
+                (same if ds.targets[i] == ds.targets[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+    def test_split(self):
+        ds = make_image_classification(num_samples=100)
+        train, test = train_test_split(ds, test_fraction=0.2)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4), 2)
+
+
+class TestDetectionDataset:
+    def test_target_layout(self):
+        ds = make_detection_dataset(num_samples=32, num_classes=4, grid_size=4)
+        assert ds.targets.shape == (32, 9, 4, 4)
+        # Exactly one object cell per image.
+        assert np.all(ds.targets[:, 4].reshape(32, -1).sum(axis=1) == 1.0)
+        # Class one-hot matches labels.
+        cls = ds.targets[:, 5:].sum(axis=(2, 3)).argmax(axis=1)
+        assert np.array_equal(cls, ds.labels)
+
+    def test_cell_accuracy_perfect(self):
+        ds = make_detection_dataset(num_samples=8, seed=1)
+        pred = ds.targets.copy()
+        pred[:, 4] = np.where(pred[:, 4] > 0.5, 10.0, -10.0)  # logits
+        pred[:, 5:] *= 10.0
+        assert detection_cell_accuracy(pred, ds.targets) == 1.0
+
+    def test_cell_accuracy_nan_is_zero(self):
+        ds = make_detection_dataset(num_samples=4, seed=1)
+        pred = np.full_like(ds.targets, np.nan)
+        assert detection_cell_accuracy(pred, ds.targets) == 0.0
+
+
+class TestMazeDataset:
+    def test_shapes(self):
+        ds = make_maze_dataset(num_samples=64, sequence_length=10)
+        assert ds.inputs.shape == (64, 10, 4)
+        assert set(np.unique(ds.targets)).issubset({0, 1, 2, 3})
+
+    def test_labels_follow_walk(self):
+        """The quadrant label is a function of the observation sequence."""
+        ds = make_maze_dataset(num_samples=64, seed=5)
+        a = make_maze_dataset(num_samples=64, seed=5)
+        assert np.array_equal(ds.targets, a.targets)
+
+
+class TestTranslationDataset:
+    def test_reversal_with_permutation(self):
+        ds = make_translation_dataset(num_samples=16, vocab_size=10, sequence_length=6)
+        perm = ds.permutation
+        for i in range(16):
+            expected = perm[ds.inputs[i][::-1] - 1]
+            assert np.array_equal(ds.targets[i], expected)
+
+    def test_tokens_avoid_padding(self):
+        ds = make_translation_dataset(num_samples=64)
+        assert ds.inputs.min() >= 1
+        assert ds.targets.min() >= 1
+
+
+class TestBatchLoader:
+    @pytest.fixture
+    def dataset(self):
+        return make_image_classification(num_samples=64, seed=0)
+
+    def test_batches_per_epoch(self, dataset):
+        assert BatchLoader(dataset, 16).batches_per_epoch == 4
+        assert BatchLoader(dataset, 10).batches_per_epoch == 6
+        assert BatchLoader(dataset, 10, drop_last=False).batches_per_epoch == 7
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_at_is_pure(self, iteration):
+        """The core recovery requirement: the batch of any iteration is a
+        pure function of (seed, iteration)."""
+        ds = make_image_classification(num_samples=48, seed=1)
+        loader_a = BatchLoader(ds, 16, base_seed=9)
+        loader_b = BatchLoader(ds, 16, base_seed=9)
+        xa, ya = loader_a.batch_at(iteration)
+        xb, yb = loader_b.batch_at(iteration)
+        assert np.array_equal(xa, xb)
+        assert np.array_equal(ya, yb)
+
+    def test_epoch_covers_dataset_once(self, dataset):
+        loader = BatchLoader(dataset, 16, base_seed=0)
+        seen = []
+        for step in range(loader.batches_per_epoch):
+            _, y = loader.batch_at(step)
+            seen.append(y)
+        # Each epoch is a permutation: batch targets multiset == dataset's.
+        assert sorted(np.concatenate(seen).tolist()) == sorted(dataset.targets.tolist())
+
+    def test_different_epochs_differ(self, dataset):
+        loader = BatchLoader(dataset, 16, base_seed=0)
+        x0, _ = loader.batch_at(0)
+        x1, _ = loader.batch_at(loader.batches_per_epoch)  # same step, next epoch
+        assert not np.array_equal(x0, x1)
+
+    def test_shards_partition_batch(self, dataset):
+        loader = BatchLoader(dataset, 16, base_seed=0)
+        full_x, full_y = loader.batch_at(3)
+        parts = [loader.shard_batch_at(3, d, 4) for d in range(4)]
+        assert np.array_equal(np.concatenate([p[0] for p in parts]), full_x)
+        assert np.array_equal(np.concatenate([p[1] for p in parts]), full_y)
+
+    def test_invalid_args(self, dataset):
+        with pytest.raises(ValueError):
+            BatchLoader(dataset, 0)
+        with pytest.raises(ValueError):
+            BatchLoader(dataset, 1000)
+        loader = BatchLoader(dataset, 16)
+        with pytest.raises(ValueError):
+            loader.batch_at(-1)
+        with pytest.raises(ValueError):
+            loader.shard_batch_at(0, 5, 4)
+        with pytest.raises(ValueError):
+            loader.shard_batch_at(0, 0, 32)
+
+    def test_permutation_cache_bounded(self, dataset):
+        loader = BatchLoader(dataset, 16, base_seed=0)
+        for epoch in range(20):
+            loader.batch_at(epoch * loader.batches_per_epoch)
+        assert len(loader._perm_cache) <= 8

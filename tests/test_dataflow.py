@@ -1,0 +1,170 @@
+"""Tests for the accelerator dataflow geometry (Table 1's cycle model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.dataflow import (
+    DataflowMap,
+    canonical_view_shape,
+    from_canonical,
+    to_canonical,
+)
+
+shapes = st.one_of(
+    st.tuples(st.integers(1, 4), st.integers(1, 40), st.integers(1, 5), st.integers(1, 5)),
+    st.tuples(st.integers(1, 8), st.integers(1, 12), st.integers(1, 40)),
+    st.tuples(st.integers(1, 20), st.integers(1, 40)),
+    st.tuples(st.integers(1, 64)),
+)
+
+
+class TestCanonicalization:
+    @given(shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, shape):
+        rng = np.random.default_rng(sum(shape))
+        x = rng.normal(size=shape).astype(np.float32)
+        canonical = to_canonical(x)
+        assert canonical.shape == canonical_view_shape(shape)
+        back = from_canonical(np.ascontiguousarray(canonical), shape)
+        assert np.array_equal(back, x)
+
+    def test_2d_mapping(self):
+        # (N, F): features become channels, rows become width.
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        canonical = to_canonical(x)
+        assert canonical.shape == (1, 3, 1, 2)
+        assert canonical[0, 2, 0, 1] == x[1, 2]
+
+    def test_3d_mapping(self):
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)  # (N, T, D)
+        canonical = to_canonical(x)
+        assert canonical.shape == (2, 4, 1, 3)
+        assert canonical[1, 3, 0, 2] == x[1, 2, 3]
+
+    def test_unsupported_ndim(self):
+        with pytest.raises(ValueError):
+            to_canonical(np.zeros((2, 2, 2, 2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            canonical_view_shape((1, 2, 3, 4, 5))
+
+
+class TestDataflowMap:
+    def test_cycle_count(self):
+        # 33 channels with 16 lanes -> 3 groups; 2x(4x5) spatial.
+        flow = DataflowMap((2, 33, 4, 5))
+        assert flow.channel_groups == 3
+        assert flow.num_cycles == 2 * 3 * 4 * 5
+
+    def test_decode_encode_consistency(self):
+        flow = DataflowMap((2, 20, 3, 4))
+        for cycle in range(flow.num_cycles):
+            b, g, h, w = flow.decode_cycle(cycle)
+            # Re-encode: schedule is ((b * groups + g) * H + h) * W + w.
+            back = ((b * flow.channel_groups + g) * 3 + h) * 4 + w
+            assert back == cycle
+
+    def test_out_of_range_cycle(self):
+        flow = DataflowMap((1, 16, 2, 2))
+        with pytest.raises(ValueError):
+            flow.decode_cycle(flow.num_cycles)
+
+    def test_elements_at_cycle_consecutive_channels(self):
+        """Table 1: outputs in one cycle are 16 consecutive channels at
+        one spatial position."""
+        flow = DataflowMap((1, 40, 2, 2))
+        b, c, h, w = flow.elements_at_cycle(0)
+        assert np.array_equal(c, np.arange(16))
+        assert len(set(h.tolist())) == 1 and len(set(w.tolist())) == 1
+        # Last group is clipped to the tensor's channel count.
+        b, c, h, w = flow.elements_at_cycle(flow.num_cycles - 1)
+        assert np.array_equal(c, np.arange(32, 40))
+
+    def test_consecutive_cycles_advance_width(self):
+        """Table 1: output elements across n cycles grow in the width
+        dimension."""
+        flow = DataflowMap((1, 16, 2, 8))
+        _, _, h0, w0 = flow.elements_at_cycle(0)
+        _, _, h1, w1 = flow.elements_at_cycle(1)
+        assert h0[0] == h1[0]
+        assert w1[0] == w0[0] + 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_all_cycles_cover_all_elements_once(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(1, 3)), int(rng.integers(1, 40)),
+                 int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+        flow = DataflowMap(shape)
+        seen = np.zeros(int(np.prod(canonical_view_shape(shape))), dtype=int)
+        for cycle in range(flow.num_cycles):
+            idx = flow.flat_indices(flow.elements_at_cycle(cycle))
+            seen[idx] += 1
+        assert np.all(seen == 1)
+
+    def test_elements_for_cycles_clips_at_end(self):
+        flow = DataflowMap((1, 16, 1, 4))
+        coords = flow.elements_for_cycles(flow.num_cycles - 1, 10)
+        assert coords[0].size == 16  # only one cycle left
+
+    def test_lane_elements(self):
+        flow = DataflowMap((1, 40, 1, 4))
+        b, c, h, w = flow.lane_element_for_cycles(0, 3, lane=5)
+        assert np.array_equal(c, [5, 5, 5])
+        assert np.array_equal(w, [0, 1, 2])
+        # Lane beyond the last group's channels -> masked (empty).
+        last_group_start = 2 * 4  # group 2 cycles start at 8
+        coords = flow.lane_element_for_cycles(last_group_start, 1, lane=15)
+        assert coords[0].size == 0  # channel 47 >= 40
+
+    def test_custom_config(self):
+        flow = DataflowMap((1, 8, 2, 2), AcceleratorConfig(mac_lanes=4))
+        assert flow.channel_groups == 2
+        _, c, _, _ = flow.elements_at_cycle(0)
+        assert c.size == 4
+
+    def test_random_cycle_in_range(self, rng):
+        flow = DataflowMap((2, 16, 3, 3))
+        for _ in range(50):
+            assert 0 <= flow.random_cycle(rng) < flow.num_cycles
+
+
+class TestGeometryProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_lane_elements_subset_of_cycle_elements(self, seed):
+        """A single lane's elements across n cycles are always a subset of
+        the full n-cycle element set (group 3 never exceeds group 1)."""
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(1, 3)), int(rng.integers(1, 40)),
+                 int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+        flow = DataflowMap(shape)
+        cycle = int(rng.integers(0, flow.num_cycles))
+        n = int(rng.integers(1, 5))
+        lane = int(rng.integers(0, 16))
+        lane_coords = flow.lane_element_for_cycles(cycle, n, lane)
+        all_coords = flow.elements_for_cycles(cycle, n)
+        if lane_coords[0].size == 0:
+            return
+        lane_flat = set(flow.flat_indices(lane_coords).tolist())
+        all_flat = set(flow.flat_indices(all_coords).tolist())
+        assert lane_flat <= all_flat
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_elements_share_spatial_position(self, seed):
+        """All elements of one cycle sit at a single (batch, h, w) — the
+        16-lane channel burst of Table 1."""
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(1, 3)), int(rng.integers(1, 40)),
+                 int(rng.integers(1, 4)), int(rng.integers(1, 4)))
+        flow = DataflowMap(shape)
+        cycle = int(rng.integers(0, flow.num_cycles))
+        b, c, h, w = flow.elements_at_cycle(cycle)
+        assert len(set(b.tolist())) == 1
+        assert len(set(h.tolist())) == 1
+        assert len(set(w.tolist())) == 1
+        assert np.array_equal(c, np.arange(c.min(), c.max() + 1))

@@ -1,0 +1,186 @@
+"""Tests for the simulated synchronous data-parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import SyncDataParallelTrainer, reseed_random_layers
+from repro.workloads import build_workload
+
+
+class TestGradientAveraging:
+    def test_multi_device_gradients_aligned_with_single_device(self):
+        """With BatchNorm, per-shard batch statistics make sharded
+        gradients differ from full-batch gradients, but the averaged
+        gradient must still point the same way (cosine similarity)."""
+        spec1 = build_workload("resnet", size="tiny", seed=0)
+        spec2 = build_workload("resnet", size="tiny", seed=0)
+        one = SyncDataParallelTrainer(spec1, num_devices=1, seed=0, test_every=0)
+        four = SyncDataParallelTrainer(spec2, num_devices=4, seed=0, test_every=0)
+        one.run_iteration(0)
+        four.run_iteration(0)
+        g1 = np.concatenate([p.grad.reshape(-1) for p in one.master.parameters()])
+        g4 = np.concatenate([p.grad.reshape(-1) for p in four.master.parameters()])
+        cosine = float(g1 @ g4 / (np.linalg.norm(g1) * np.linalg.norm(g4) + 1e-12))
+        assert cosine > 0.8
+
+    def test_multi_device_exact_without_bn(self):
+        """With no BatchNorm the only per-shard nonlinearity in gradient
+        aggregation is float reassociation: results must agree tightly."""
+        spec1 = build_workload("multigrid", size="tiny", seed=0)
+        spec2 = build_workload("multigrid", size="tiny", seed=0)
+        one = SyncDataParallelTrainer(spec1, num_devices=1, seed=0, test_every=0)
+        four = SyncDataParallelTrainer(spec2, num_devices=4, seed=0, test_every=0)
+        one.train(3)
+        four.train(3)
+        for a, b in zip(one.master.parameters(), four.master.parameters()):
+            assert np.allclose(a.data, b.data, rtol=1e-3, atol=1e-5)
+
+
+class TestReplicaConsistency:
+    def test_weights_broadcast_each_iteration(self, make_trainer):
+        trainer = make_trainer(num_devices=3)
+        trainer.train(2)
+        master = list(trainer.master.parameters())
+        for replica in trainer.replicas[1:]:
+            for pm, pr in zip(master, replica.parameters()):
+                assert np.array_equal(pm.data, pr.data)
+
+    def test_bn_stats_are_per_device(self, make_trainer):
+        """BatchNorm moving statistics are device-local (Sec. 4.3.3) —
+        different shards give different statistics."""
+        from repro.nn.normalization import batchnorm_layers
+
+        trainer = make_trainer(num_devices=2)
+        trainer.train(3)
+        bn0 = batchnorm_layers(trainer.replicas[0])[0]
+        bn1 = batchnorm_layers(trainer.replicas[1])[0]
+        assert not np.array_equal(bn0.moving_var, bn1.moving_var)
+
+
+class TestTrainingLoop:
+    def test_record_lengths(self, make_trainer):
+        trainer = make_trainer(test_every=5)
+        trainer.train(10)
+        assert trainer.record.num_iterations == 10
+        assert len(trainer.record.test_iterations) == 2
+        assert len(trainer.record.history_magnitude) == 10
+
+    def test_learning_happens(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        rec = trainer.train(40)
+        assert rec.final_train_accuracy() > rec.train_acc[0] + 0.2
+
+    def test_stops_on_nonfinite(self, make_trainer):
+        trainer = make_trainer()
+
+        class Poison:
+            def after_backward(self, tr, iteration):
+                if iteration == 3:
+                    next(iter(tr.master.parameters())).grad[:] = np.nan
+
+        trainer.add_hook(Poison())
+        rec = trainer.train(10)
+        assert rec.nonfinite_at == 3
+        assert rec.num_iterations == 4
+
+    def test_continue_on_nonfinite_when_disabled(self, make_trainer):
+        trainer = make_trainer(stop_on_nonfinite=False)
+
+        class Poison:
+            def after_backward(self, tr, iteration):
+                if iteration == 2:
+                    next(iter(tr.master.parameters())).grad[:] = np.inf
+
+        trainer.add_hook(Poison())
+        rec = trainer.train(6)
+        assert rec.nonfinite_at == 2
+        assert rec.num_iterations == 6
+
+    def test_invalid_device_count(self, tiny_resnet_spec):
+        with pytest.raises(ValueError):
+            SyncDataParallelTrainer(tiny_resnet_spec, num_devices=0)
+
+
+class TestHooks:
+    def test_hook_order_and_events(self, make_trainer):
+        events = []
+
+        class Probe:
+            def before_iteration(self, tr, t):
+                events.append(("before", t))
+
+            def after_backward(self, tr, t):
+                events.append(("backward", t))
+
+            def after_step(self, tr, t):
+                events.append(("step", t))
+
+            def after_iteration(self, tr, t, loss, acc):
+                events.append(("after", t))
+
+        trainer = make_trainer()
+        trainer.add_hook(Probe())
+        trainer.train(2)
+        assert events == [
+            ("before", 0), ("backward", 0), ("step", 0), ("after", 0),
+            ("before", 1), ("backward", 1), ("step", 1), ("after", 1),
+        ]
+
+
+class TestEvaluation:
+    def test_eval_uses_device_replica(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        trainer.train(5)
+        # Corrupt device 1's BN stats: its eval accuracy should collapse
+        # while device 0 stays fine (LowTestAccuracy locality).
+        from repro.nn.normalization import batchnorm_layers
+
+        for bn in batchnorm_layers(trainer.replicas[1]):
+            bn.moving_var[:] = 1e30
+        acc0 = trainer.evaluate(device=0)
+        acc1 = trainer.evaluate(device=1)
+        assert acc0 > acc1
+
+    def test_models_back_in_train_mode_after_eval(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        trainer.train(2)
+        trainer.evaluate()
+        assert all(m.training for m in trainer.replicas[0].modules())
+
+
+class TestReseed:
+    def test_reseed_random_layers(self, rng):
+        from repro import nn
+
+        model = nn.Sequential(nn.Dense(4, 4, rng), nn.Dropout(0.5, seed=0))
+        x = rng.normal(size=(16, 4)).astype(np.float32)
+        reseed_random_layers(model, (7, 0))
+        a = model.forward(x)
+        reseed_random_layers(model, (7, 0))
+        b = model.forward(x)
+        assert np.array_equal(a, b)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_trajectories(self):
+        """Two trainers with the same seed follow bit-identical paths —
+        the foundation of campaign reproducibility and exact recovery."""
+        a = SyncDataParallelTrainer(build_workload("resnet", size="tiny", seed=0),
+                                    num_devices=2, seed=0, test_every=0)
+        b = SyncDataParallelTrainer(build_workload("resnet", size="tiny", seed=0),
+                                    num_devices=2, seed=0, test_every=0)
+        a.train(6)
+        b.train(6)
+        for (n1, p1), (n2, p2) in zip(a.master.named_parameters(),
+                                      b.master.named_parameters()):
+            assert np.array_equal(p1.data, p2.data), n1
+        assert a.record.train_loss == b.record.train_loss
+
+    def test_different_seeds_differ(self):
+        a = SyncDataParallelTrainer(build_workload("resnet", size="tiny", seed=0),
+                                    num_devices=2, seed=0, test_every=0)
+        b = SyncDataParallelTrainer(build_workload("resnet", size="tiny", seed=0),
+                                    num_devices=2, seed=1, test_every=0)
+        a.train(3)
+        b.train(3)
+        assert a.record.train_loss != b.record.train_loss

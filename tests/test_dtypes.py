@@ -1,0 +1,122 @@
+"""Tests for reduced-precision emulation (repro.tensor.dtypes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dtypes import (
+    BFLOAT16_MAX,
+    FLOAT32_MAX,
+    Precision,
+    quantized_matmul,
+    saturate_to_inf,
+    to_bfloat16,
+    to_float16,
+    to_int16_saturating,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestBfloat16:
+    def test_exact_values_preserved(self):
+        # Powers of two and small integers are exactly representable.
+        for v in [0.0, 1.0, -1.0, 2.0, 0.5, 0.25, 3.0, -4.0, 1024.0]:
+            assert float(to_bfloat16(v)) == v
+
+    def test_rounds_mantissa(self):
+        # 1 + 2^-9 is below bfloat16 resolution at 1.0 (7 mantissa bits).
+        assert float(to_bfloat16(1.0 + 2.0**-9)) == 1.0
+        # 1 + 2^-7 is exactly the next representable value.
+        assert float(to_bfloat16(1.0 + 2.0**-7)) == 1.0 + 2.0**-7
+
+    def test_nan_preserved(self):
+        assert np.isnan(to_bfloat16(np.float32(np.nan)))
+
+    def test_inf_preserved(self):
+        assert np.isposinf(to_bfloat16(np.float32(np.inf)))
+        assert np.isneginf(to_bfloat16(np.float32(-np.inf)))
+
+    def test_vectorized(self):
+        arr = np.linspace(-5, 5, 101, dtype=np.float32)
+        out = to_bfloat16(arr)
+        assert out.shape == arr.shape
+        assert out.dtype == np.float32
+
+    @given(finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, x):
+        once = to_bfloat16(np.float32(x))
+        twice = to_bfloat16(once)
+        assert np.array_equal(once, twice)
+
+    @given(st.floats(min_value=2.0**-90, max_value=2.0**90, allow_nan=False, width=32))
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bound(self, x):
+        # Round-to-nearest with 8 mantissa bits (incl. implicit):
+        # relative error <= 2^-8.
+        q = float(to_bfloat16(np.float32(x)))
+        assert abs(q - x) <= abs(x) * 2.0**-8 + 1e-45
+
+    @given(finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_sign_preserved(self, x):
+        q = float(to_bfloat16(np.float32(x)))
+        if x != 0.0 and q != 0.0:
+            assert np.sign(q) == np.sign(np.float32(x))
+
+
+class TestOtherPrecisions:
+    def test_float16_round_trip(self):
+        assert float(to_float16(1.0)) == 1.0
+        # 70000 overflows float16 -> inf.
+        assert np.isinf(to_float16(70000.0))
+
+    def test_int16_saturates(self):
+        assert float(to_int16_saturating(1e9)) == 32767.0
+        assert float(to_int16_saturating(-1e9)) == -32768.0
+        assert float(to_int16_saturating(3.7)) == 3.0
+        assert float(to_int16_saturating(np.nan)) == 0.0
+
+    def test_precision_cast_dispatch(self):
+        x = np.array([1.5], dtype=np.float32)
+        assert Precision.cast(x, Precision.FP32)[0] == 1.5
+        assert Precision.cast(x, Precision.BF16)[0] == 1.5
+        with pytest.raises(ValueError):
+            Precision.cast(x, "fp8")
+
+    def test_modes_listed(self):
+        assert set(Precision.modes()) == {"fp32", "bf16", "fp16", "int16"}
+
+
+class TestQuantizedMatmul:
+    def test_matches_fp32_for_representable(self, rng):
+        a = np.round(rng.normal(size=(4, 5)) * 4) / 4  # bf16-exact values
+        b = np.round(rng.normal(size=(5, 3)) * 4) / 4
+        a, b = a.astype(np.float32), b.astype(np.float32)
+        out = quantized_matmul(a, b)
+        ref = a @ b
+        assert np.allclose(out, ref, rtol=1e-2, atol=1e-3)
+
+    def test_quantization_changes_result(self, rng):
+        a = rng.normal(size=(8, 8)).astype(np.float32) * (1 + 1e-4)
+        b = rng.normal(size=(8, 8)).astype(np.float32)
+        exact = a @ b
+        quant = quantized_matmul(a, b)
+        # bf16 inputs lose mantissa bits; results differ slightly.
+        assert np.allclose(exact, quant, rtol=0.05, atol=0.05)
+
+
+class TestSaturation:
+    def test_saturate_to_inf(self):
+        big = np.array([1e39, -1e39, 1.0], dtype=np.float64)
+        out = saturate_to_inf(big)
+        assert np.isposinf(out[0])
+        assert np.isneginf(out[1])
+        assert out[2] == 1.0
+        assert out.dtype == np.float32
+
+    def test_constants(self):
+        assert FLOAT32_MAX == pytest.approx(3.4028235e38)
+        assert BFLOAT16_MAX > FLOAT32_MAX * 0.99

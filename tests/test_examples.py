@@ -1,0 +1,38 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take tens of seconds each; here we verify every script
+compiles and that the cheapest one executes end to end.  The benchmark
+harness and the examples share the same underlying API paths, so deeper
+behaviour is covered there.
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "mitigation_demo.py", "fault_campaign.py",
+            "rtl_validation.py", "workload_zoo.py",
+            "multi_fault_study.py"} <= names
+
+
+def test_rtl_validation_example_runs():
+    """The fastest example (~5s): run it for real and check the verdict."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "rtl_validation.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "match rate on non-masked faults: 100.0%" in result.stdout

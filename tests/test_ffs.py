@@ -1,0 +1,98 @@
+"""Tests for the FF inventory (population structure of Sec. 4.3.1 / Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.ffs import (
+    DATAPATH_FRACTION,
+    GLOBAL_GROUP_FRACTIONS,
+    LOCAL_CONTROL_FRACTION,
+    FFDescriptor,
+    FFInventory,
+)
+
+
+class TestPopulations:
+    def test_fractions_sum_to_one(self):
+        total = DATAPATH_FRACTION + LOCAL_CONTROL_FRACTION + sum(
+            GLOBAL_GROUP_FRACTIONS.values()
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_table1_group_fractions(self):
+        # Exact values from Table 1's "% FFs" column.
+        assert GLOBAL_GROUP_FRACTIONS[1] == pytest.approx(0.0024)
+        assert GLOBAL_GROUP_FRACTIONS[4] == pytest.approx(0.0236)
+        assert GLOBAL_GROUP_FRACTIONS[7] == pytest.approx(0.0009)
+        assert len(GLOBAL_GROUP_FRACTIONS) == 10
+
+    def test_sec431_critical_class_is_9_8_percent(self):
+        # Groups 1 and 3 plus local control FFs = 9.8% of all FFs.
+        critical = (
+            LOCAL_CONTROL_FRACTION
+            + GLOBAL_GROUP_FRACTIONS[1]
+            + GLOBAL_GROUP_FRACTIONS[3]
+        )
+        assert critical == pytest.approx(0.098)
+
+    def test_upper_exponent_population_close_to_5_5_percent(self):
+        # 2 of 32 bits of each datapath register: ~5.3% of all FFs, close
+        # to the paper's 5.5%.
+        upper = DATAPATH_FRACTION * 2 / 32
+        assert 0.04 < upper < 0.07
+
+
+class TestSampling:
+    def test_category_mix_matches_population(self):
+        inv = FFInventory()
+        rng = np.random.default_rng(0)
+        counts = {"datapath": 0, "local_control": 0, "global_control": 0}
+        n = 20_000
+        for _ in range(n):
+            counts[inv.sample(rng).category] += 1
+        assert counts["datapath"] / n == pytest.approx(DATAPATH_FRACTION, abs=0.02)
+        assert counts["local_control"] / n == pytest.approx(LOCAL_CONTROL_FRACTION, abs=0.02)
+
+    def test_datapath_bits_uniform(self):
+        inv = FFInventory()
+        rng = np.random.default_rng(1)
+        bits = [inv.sample(rng).bit for _ in range(5000)
+                if inv.sample(rng).category == "datapath"]
+        bits = [b for b in bits if b is not None]
+        assert min(bits) == 0 and max(bits) == 31
+
+    def test_global_groups_cover_all_ten(self):
+        inv = FFInventory()
+        rng = np.random.default_rng(2)
+        groups = set()
+        for _ in range(50_000):
+            ff = inv.sample(rng)
+            if ff.category == "global_control":
+                groups.add(ff.group)
+        assert groups == set(range(1, 11))
+
+    def test_feedback_fraction(self):
+        inv = FFInventory(feedback_fraction=1.0)
+        rng = np.random.default_rng(3)
+        assert all(inv.sample(rng).has_feedback for _ in range(100))
+        inv0 = FFInventory(feedback_fraction=0.0)
+        assert not any(inv0.sample(rng).has_feedback for _ in range(100))
+
+    def test_invalid_feedback_fraction(self):
+        with pytest.raises(ValueError):
+            FFInventory(feedback_fraction=1.5)
+
+    def test_category_fractions_reported(self):
+        fracs = FFInventory().category_fractions()
+        assert set(fracs) == {"datapath", "local_control", "global_control"}
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+
+class TestDescriptor:
+    def test_upper_exponent_detection(self):
+        assert FFDescriptor("datapath", bit=30).is_upper_exponent()
+        assert FFDescriptor("datapath", bit=29).is_upper_exponent()
+        assert not FFDescriptor("datapath", bit=28).is_upper_exponent()
+        assert not FFDescriptor("datapath", bit=31).is_upper_exponent()
+        assert not FFDescriptor("local_control").is_upper_exponent()
+        assert not FFDescriptor("global_control", group=1).is_upper_exponent()

@@ -1,0 +1,247 @@
+"""Tests for layers: activations, dense, conv, pooling (values + grads)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.conv import col2im, conv_output_size, im2col
+from tests.conftest import directional_gradcheck
+
+
+class TestActivationValues:
+    def test_relu_masks_negatives(self, rng):
+        x = np.array([[-1e30, -1.0, 0.0, 2.0, 1e30]], dtype=np.float32)
+        out = nn.ReLU().forward(x)
+        expected = np.array([[0.0, 0.0, 0.0, 2.0, 1e30]], dtype=np.float32)
+        assert np.array_equal(out, expected)
+
+    def test_leaky_relu(self):
+        x = np.array([[-10.0, 10.0]], dtype=np.float32)
+        out = nn.LeakyReLU(0.1).forward(x)
+        assert np.allclose(out, [[-1.0, 10.0]])
+
+    def test_sigmoid_saturates_large_faulty_values(self):
+        # Masking effect: sigmoid bounds even 1e30-magnitude faults.
+        x = np.array([[-1e30, 1e30]], dtype=np.float32)
+        out = nn.Sigmoid().forward(x)
+        assert np.allclose(out, [[0.0, 1.0]])
+
+    def test_tanh_range(self, rng):
+        out = nn.Tanh().forward(rng.normal(size=(10, 10)).astype(np.float32) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_scaled_relu_preserves_variance(self, rng):
+        x = rng.normal(size=(100_000,)).astype(np.float32)
+        out = nn.ScaledReLU().forward(x)
+        assert out.var() == pytest.approx(1.0, rel=0.05)
+
+    def test_silu_zero_at_zero(self):
+        assert nn.SiLU().forward(np.zeros((1, 1), np.float32))[0, 0] == 0.0
+
+    def test_gelu_known_values(self):
+        out = nn.GELU().forward(np.array([[0.0, 100.0]], dtype=np.float32))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert out[0, 1] == pytest.approx(100.0, rel=1e-4)
+
+
+@pytest.mark.parametrize(
+    "activation",
+    [nn.ReLU, nn.LeakyReLU, nn.Sigmoid, nn.Tanh, nn.GELU, nn.SiLU, nn.ScaledReLU],
+)
+def test_activation_gradients(activation, rng):
+    act = activation()
+    x = rng.normal(size=(8, 6)).astype(np.float32) + 0.05  # avoid kinks
+    eps = 1e-3
+    act.forward(x)
+    g = np.ones_like(x)
+    analytic = act.backward(g)
+    numeric = (act.forward(x + eps) - act.forward(x - eps)) / (2 * eps)
+    # Re-run forward(x) so later backward calls see consistent caches.
+    act.forward(x)
+    assert np.allclose(analytic, numeric, rtol=0.05, atol=1e-3)
+
+
+class TestDense:
+    def test_forward_values(self, rng):
+        layer = nn.Dense(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        out = layer.forward(x)
+        ref = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(out, ref, atol=1e-6)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.Dense(5, 7, rng), nn.Tanh(), nn.Dense(7, 3, rng))
+        x = rng.normal(size=(6, 5)).astype(np.float32)
+        y = rng.integers(0, 3, size=6)
+        err = directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng)
+        assert err < 0.02
+
+    def test_3d_input(self, rng):
+        layer = nn.Dense(4, 6, rng)
+        x = rng.normal(size=(2, 5, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 5, 6)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_no_bias(self, rng):
+        layer = nn.Dense(3, 2, rng, use_bias=False)
+        assert not hasattr(layer, "bias") or "bias" not in layer._params
+        out = layer.forward(np.zeros((1, 3), np.float32))
+        assert np.all(out == 0)
+
+    def test_fan_in(self, rng):
+        assert nn.Dense(12, 5, rng).fan_in == 12
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(16, 3, 1, 1) == 16
+        assert conv_output_size(16, 3, 2, 1) == 8
+        assert conv_output_size(5, 2, 2, 0) == 2
+
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        col = im2col(x, 3, 3, 1, 1)
+        assert col.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    @given(
+        st.integers(min_value=1, max_value=3),  # n
+        st.integers(min_value=1, max_value=3),  # c
+        st.integers(min_value=4, max_value=7),  # h=w
+        st.integers(min_value=1, max_value=3),  # k
+        st.integers(min_value=1, max_value=2),  # stride
+        st.integers(min_value=0, max_value=1),  # padding
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, n, c, s, k, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint identity
+        that makes the conv backward pass correct."""
+        if conv_output_size(s, k, stride, padding) < 1:
+            return
+        rng = np.random.default_rng(n * 100 + c * 10 + s)
+        x = rng.normal(size=(n, c, s, s)).astype(np.float32)
+        col = im2col(x, k, k, stride, padding)
+        y = rng.normal(size=col.shape).astype(np.float32)
+        lhs = float(np.sum(col * y))
+        back = col2im(y, x.shape, k, k, stride, padding)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+
+class TestConv2D:
+    def test_matches_naive_convolution(self, rng):
+        layer = nn.Conv2D(2, 3, 3, rng, stride=1, padding=1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        out = layer.forward(x)
+        # Naive direct convolution reference.
+        w, b = layer.weight.data, layer.bias.data
+        padded = np.pad(x, [(0, 0), (0, 0), (1, 1), (1, 1)])
+        ref = np.zeros_like(out)
+        for co in range(3):
+            for i in range(5):
+                for j in range(5):
+                    patch = padded[0, :, i : i + 3, j : j + 3]
+                    ref[0, co, i, j] = np.sum(patch * w[co]) + b[co]
+        assert np.allclose(out, ref, atol=1e-4)
+
+    def test_stride_changes_shape(self, rng):
+        layer = nn.Conv2D(3, 4, 3, rng, stride=2)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_gradcheck(self, rng):
+        model = nn.Sequential(nn.Conv2D(2, 4, 3, rng), nn.Tanh(),
+                              nn.GlobalAvgPool2D(), nn.Dense(4, 3, rng))
+        x = rng.normal(size=(4, 2, 6, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=4)
+        err = directional_gradcheck(model, x, nn.SoftmaxCrossEntropy(), y, rng)
+        assert err < 0.02
+
+    def test_wrong_channels_raises(self, rng):
+        layer = nn.Conv2D(3, 4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 8, 8), np.float32))
+
+    def test_fan_in(self, rng):
+        assert nn.Conv2D(4, 8, 3, rng).fan_in == 4 * 9
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2D(2).forward(x)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        pool = nn.MaxPool2D(2)
+        pool.forward(x)
+        g = pool.backward(np.ones((1, 1, 2, 2), np.float32))
+        assert g[0, 0, 1, 1] == 1.0  # element 5
+        assert g[0, 0, 0, 0] == 0.0
+        assert g.sum() == 4.0
+
+    def test_avgpool_values(self):
+        x = np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = nn.AvgPool2D(2).forward(x)
+        assert np.allclose(out, 1.0)
+
+    def test_avgpool_backward_uniform(self):
+        pool = nn.AvgPool2D(2)
+        pool.forward(np.zeros((1, 1, 4, 4), np.float32))
+        g = pool.backward(np.ones((1, 1, 2, 2), np.float32))
+        assert np.allclose(g, 0.25)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        pool = nn.GlobalAvgPool2D()
+        out = pool.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)), atol=1e-6)
+        g = pool.backward(np.ones((2, 3), np.float32))
+        assert np.allclose(g, 1.0 / 16)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        drop = nn.Dropout(0.5, seed=0)
+        drop.training = False
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        assert np.array_equal(drop.forward(x), x)
+
+    def test_reseed_reproduces_mask(self, rng):
+        x = rng.normal(size=(32, 32)).astype(np.float32)
+        drop = nn.Dropout(0.5, seed=1)
+        a = drop.forward(x)
+        drop.reseed(1)
+        b = drop.forward(x)
+        assert np.array_equal(a, b)
+
+    def test_expectation_preserved(self, rng):
+        x = np.ones((200, 200), dtype=np.float32)
+        out = nn.Dropout(0.3, seed=2).forward(x)
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_backward_uses_same_mask(self, rng):
+        drop = nn.Dropout(0.5, seed=3)
+        x = rng.normal(size=(16, 16)).astype(np.float32)
+        out = drop.forward(x)
+        g = drop.backward(np.ones_like(x))
+        assert np.array_equal(g == 0, out == 0)
+
+
+class TestFlatten:
+    def test_round_trip(self, rng):
+        flat = nn.Flatten()
+        x = rng.normal(size=(2, 3, 4, 5)).astype(np.float32)
+        out = flat.forward(x)
+        assert out.shape == (2, 60)
+        back = flat.backward(out)
+        assert np.array_equal(back, x)

@@ -1,0 +1,177 @@
+"""Tests for loss functions, including the gradient bound that anchors
+Algorithm 1 (softmax-cross-entropy input gradients lie in [-1/m, 1/m])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.losses import (
+    DetectionLoss,
+    MSELoss,
+    SequenceCrossEntropy,
+    SoftmaxCrossEntropy,
+    accuracy,
+    sequence_accuracy,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = softmax(rng.normal(size=(8, 5)).astype(np.float32) * 10)
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_stable_for_huge_inputs(self):
+        out = softmax(np.array([[1e30, 0.0, -1e30]], dtype=np.float32))
+        assert np.allclose(out, [[1.0, 0.0, 0.0]])
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(4, 6)).astype(np.float32)
+        assert np.allclose(softmax(x), softmax(x + 100.0), atol=1e-5)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_gradient_formula(self, rng):
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        target = rng.integers(0, 4, size=6)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, target)
+        grad = loss.backward()
+        probs = softmax(logits)
+        expected = probs.copy()
+        expected[np.arange(6), target] -= 1.0
+        assert np.allclose(grad, expected / 6, atol=1e-6)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_algorithm1_step1_bound(self, m, classes):
+        """Every input-gradient element lies in [-1/m, 1/m] — Algorithm 1
+        Step 1, for arbitrary (including faulty-looking huge) logits."""
+        rng = np.random.default_rng(m * 100 + classes)
+        logits = (rng.normal(size=(m, classes)) * rng.choice([1, 1e3, 1e30])).astype(
+            np.float32
+        )
+        target = rng.integers(0, classes, size=m)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, target)
+        grad = loss.backward()
+        assert np.all(np.abs(grad) <= 1.0 / m + 1e-7)
+
+    def test_numeric_gradient(self, rng):
+        logits = rng.normal(size=(4, 3)).astype(np.float64)
+        target = np.array([0, 1, 2, 1])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits.astype(np.float32), target)
+        grad = loss.backward()
+        eps = 1e-4
+        for i in range(4):
+            for j in range(3):
+                plus = logits.copy(); plus[i, j] += eps
+                minus = logits.copy(); minus[i, j] -= eps
+                num = (
+                    loss.forward(plus.astype(np.float32), target)
+                    - loss.forward(minus.astype(np.float32), target)
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-3)
+
+
+class TestSequenceCrossEntropy:
+    def test_padding_excluded(self, rng):
+        logits = rng.normal(size=(2, 4, 5)).astype(np.float32)
+        target = np.array([[1, 2, 0, 0], [3, 0, 0, 0]])  # 0 = PAD
+        loss = SequenceCrossEntropy(pad_id=0)
+        loss.forward(logits, target)
+        grad = loss.backward()
+        assert np.all(grad[0, 2:] == 0)
+        assert np.all(grad[1, 1:] == 0)
+
+    def test_all_padding_safe(self):
+        logits = np.zeros((1, 3, 4), dtype=np.float32)
+        target = np.zeros((1, 3), dtype=np.int64)
+        loss = SequenceCrossEntropy(pad_id=0)
+        value = loss.forward(logits, target)
+        assert value == 0.0
+        assert np.all(loss.backward() == 0)
+
+    def test_matches_flat_cross_entropy_without_padding(self, rng):
+        logits = rng.normal(size=(3, 4, 5)).astype(np.float32)
+        target = rng.integers(1, 5, size=(3, 4))
+        seq = SequenceCrossEntropy(pad_id=0)
+        flat = SoftmaxCrossEntropy()
+        seq_val = seq.forward(logits, target)
+        flat_val = flat.forward(logits.reshape(12, 5), target.reshape(12))
+        assert seq_val == pytest.approx(flat_val, rel=1e-4)
+
+
+class TestMSELoss:
+    def test_zero_for_exact(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        assert MSELoss().forward(x, x) == 0.0
+
+    def test_gradient(self, rng):
+        pred = rng.normal(size=(3, 3)).astype(np.float32)
+        target = rng.normal(size=(3, 3)).astype(np.float32)
+        loss = MSELoss()
+        loss.forward(pred, target)
+        grad = loss.backward()
+        assert np.allclose(grad, 2 * (pred - target) / 9, atol=1e-6)
+
+
+class TestDetectionLoss:
+    def _target(self, n=2, k=3, s=4):
+        t = np.zeros((n, 5 + k, s, s), dtype=np.float32)
+        t[:, 4, 1, 2] = 1.0
+        t[:, 5, 1, 2] = 1.0
+        t[:, 0, 1, 2] = 0.5
+        return t
+
+    def test_loss_positive(self, rng):
+        pred = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        loss = DetectionLoss(num_classes=3)
+        assert loss.forward(pred, self._target()) > 0
+
+    def test_gradient_shape(self, rng):
+        pred = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        loss = DetectionLoss(num_classes=3)
+        loss.forward(pred, self._target())
+        assert loss.backward().shape == pred.shape
+
+    def test_numeric_gradient(self, rng):
+        pred = rng.normal(size=(1, 8, 4, 4)).astype(np.float64)
+        target = self._target(n=1)
+        loss = DetectionLoss(num_classes=3)
+        loss.forward(pred.astype(np.float32), target)
+        grad = loss.backward()
+        eps = 1e-3
+        idx = [(0, 4, 1, 2), (0, 0, 1, 2), (0, 5, 1, 2), (0, 4, 0, 0)]
+        for i in idx:
+            plus = pred.copy(); plus[i] += eps
+            minus = pred.copy(); minus[i] -= eps
+            num = (
+                loss.forward(plus.astype(np.float32), target)
+                - loss.forward(minus.astype(np.float32), target)
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(num, rel=0.03, abs=1e-3)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]], dtype=np.float32)
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_nan_never_correct(self):
+        logits = np.full((4, 3), np.nan, dtype=np.float32)
+        # All-NaN rows pick class 0 deterministically; targets elsewhere.
+        assert accuracy(logits, np.array([1, 2, 1, 2])) == 0.0
+
+    def test_sequence_accuracy_ignores_padding(self):
+        logits = np.zeros((1, 3, 4), dtype=np.float32)
+        logits[0, :, 2] = 10.0
+        target = np.array([[2, 2, 0]])
+        assert sequence_accuracy(logits, target, pad_id=0) == 1.0

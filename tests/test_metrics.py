@@ -1,0 +1,71 @@
+"""Tests for the convergence recorder."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import ConvergenceRecord
+
+
+@pytest.fixture
+def record():
+    rec = ConvergenceRecord()
+    for i in range(10):
+        rec.record_train(i, 1.0 - i * 0.05, i * 0.05, history_mag=0.1, mvar_mag=1.0)
+    rec.record_test(4, 0.3)
+    rec.record_test(9, 0.5)
+    return rec
+
+
+class TestRecording:
+    def test_lengths(self, record):
+        assert record.num_iterations == 10
+        assert len(record.test_acc) == 2
+        assert len(record.history_magnitude) == 10
+
+    def test_final_accuracies(self, record):
+        assert record.final_train_accuracy(window=1) == pytest.approx(0.45)
+        assert record.final_test_accuracy(window=1) == pytest.approx(0.5)
+        assert ConvergenceRecord().final_train_accuracy() == 0.0
+        assert ConvergenceRecord().final_test_accuracy() == 0.0
+
+    def test_arrays(self, record):
+        assert record.train_accuracy_array().shape == (10,)
+        assert record.loss_array()[0] == pytest.approx(1.0)
+        assert record.test_accuracy_array().tolist() == [0.3, 0.5]
+
+
+class TestNonfinite:
+    def test_first_marking_wins(self, record):
+        record.mark_nonfinite(3)
+        record.mark_nonfinite(7)
+        assert record.nonfinite_at == 3
+
+
+class TestTruncate:
+    def test_drops_tail(self, record):
+        record.truncate_to(5)
+        assert record.num_iterations == 5
+        assert record.iterations[-1] == 4
+        assert len(record.history_magnitude) == 5
+        assert record.test_iterations == [4]
+
+    def test_clears_nonfinite_if_rolled_back(self, record):
+        record.mark_nonfinite(7)
+        record.truncate_to(5)
+        assert record.nonfinite_at is None
+
+    def test_keeps_earlier_nonfinite(self, record):
+        record.mark_nonfinite(2)
+        record.truncate_to(5)
+        assert record.nonfinite_at == 2
+
+
+class TestSerialization:
+    def test_to_dict(self, record):
+        record.detections.append(4)
+        data = record.to_dict()
+        assert data["detections"] == [4]
+        assert len(data["train_acc"]) == 10
+        import json
+
+        json.dumps(data)  # must be JSON-serializable

@@ -1,0 +1,168 @@
+"""Tests for the Module base class (repro.nn.module)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def build_small_model(seed: int = 0) -> nn.Sequential:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Dense(4, 8, rng),
+        nn.BatchNorm(8),
+        nn.ReLU(),
+        nn.Dense(8, 3, rng),
+    )
+
+
+class TestRegistration:
+    def test_parameters_enumerated(self):
+        model = build_small_model()
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names
+        assert "0.bias" in names
+        assert "1.gamma" in names
+        assert "3.weight" in names
+
+    def test_num_parameters(self):
+        model = build_small_model()
+        expected = 4 * 8 + 8 + 8 + 8 + 8 * 3 + 3
+        assert model.num_parameters() == expected
+
+    def test_named_modules_includes_nesting(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.ResidualBlock(4, 4, rng))
+        names = dict(model.named_modules())
+        assert "0.conv1" in names
+        assert "0.bn1" in names
+
+    def test_zero_grad(self):
+        model = build_small_model()
+        for p in model.parameters():
+            p.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        model = build_small_model()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_round_trip_exact(self, rng):
+        model = build_small_model(0)
+        x = rng.normal(size=(16, 4)).astype(np.float32)
+        model.forward(x)  # update BN moving stats
+        state = model.state_dict()
+
+        other = build_small_model(1)
+        other.load_state_dict(state)
+        for (n1, p1), (n2, p2) in zip(model.named_parameters(), other.named_parameters()):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+        bn1 = model.layers[1]
+        bn2 = other.layers[1]
+        assert np.array_equal(bn1.moving_var, bn2.moving_var)
+        assert np.array_equal(bn1.moving_mean, bn2.moving_mean)
+
+    def test_state_dict_is_a_copy(self):
+        model = build_small_model()
+        state = model.state_dict()
+        first = next(iter(model.parameters()))
+        first.data += 1.0
+        key = "param:" + next(iter(dict(model.named_parameters())))
+        assert not np.array_equal(state[key], first.data)
+
+    def test_unknown_key_raises(self):
+        model = build_small_model()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus:thing": np.zeros(1)})
+
+
+class TestFaultHooks:
+    def test_hook_applied_to_forward(self, rng):
+        model = build_small_model()
+        dense = model.layers[0]
+        dense.set_fault_hook("forward", lambda t, info: t * 0.0)
+        out = dense.forward(rng.normal(size=(2, 4)).astype(np.float32))
+        assert np.all(out == 0)
+
+    def test_hook_receives_site_info(self, rng):
+        model = build_small_model()
+        dense = model.layers[0]
+        seen = {}
+
+        def hook(t, info):
+            seen.update(info)
+            return t
+
+        dense.set_fault_hook("forward", hook)
+        dense.forward(rng.normal(size=(2, 4)).astype(np.float32))
+        assert seen["kind"] == "forward"
+        assert seen["module"] is dense
+
+    def test_clear_hooks(self, rng):
+        model = build_small_model()
+        dense = model.layers[0]
+        dense.set_fault_hook("forward", lambda t, info: t * 0.0)
+        dense.clear_fault_hooks()
+        out = dense.forward(rng.normal(size=(2, 4)).astype(np.float32))
+        assert np.any(out != 0)
+
+    def test_invalid_hook_kind_raises(self):
+        model = build_small_model()
+        with pytest.raises(ValueError):
+            model.layers[0].set_fault_hook("bogus", lambda t, i: t)
+
+    def test_weight_grad_hook(self, rng):
+        model = build_small_model()
+        dense = model.layers[0]
+        fired = []
+        dense.set_fault_hook("weight_grad", lambda t, info: fired.append(info) or t)
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        loss = nn.SoftmaxCrossEntropy()
+        loss.forward(model.forward(x), np.zeros(4, dtype=np.int64))
+        model.zero_grad()
+        model.backward(loss.backward())
+        assert fired and fired[0]["param"] == "weight"
+
+
+class TestSequential:
+    def test_indexing_and_iteration(self):
+        model = build_small_model()
+        assert len(model) == 4
+        assert isinstance(model[2], nn.ReLU)
+        assert len(list(iter(model))) == 4
+
+    def test_append(self, rng):
+        model = nn.Sequential(nn.Dense(2, 2, rng))
+        model.append(nn.ReLU())
+        assert len(model) == 2
+        names = dict(model.named_modules())
+        assert "1" in names
+
+    def test_backward_reverses_order(self, rng):
+        calls = []
+
+        class Probe(nn.Module):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+            def forward(self, x):
+                return x
+
+            def backward(self, g):
+                calls.append(self.tag)
+                return g
+
+        model = nn.Sequential(Probe("a"), Probe("b"), Probe("c"))
+        model.forward(np.zeros((1, 1), dtype=np.float32))
+        model.backward(np.zeros((1, 1), dtype=np.float32))
+        assert calls == ["c", "b", "a"]

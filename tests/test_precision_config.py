@@ -1,0 +1,79 @@
+"""Tests for the global compute-precision configuration (repro.nn.config)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import config
+from repro.tensor.dtypes import Precision
+
+
+class TestPrecisionState:
+    def test_default_is_fp32(self):
+        assert config.get_compute_precision() == Precision.FP32
+
+    def test_context_manager_restores(self):
+        with config.compute_precision(Precision.BF16):
+            assert config.get_compute_precision() == Precision.BF16
+        assert config.get_compute_precision() == Precision.FP32
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with config.compute_precision(Precision.BF16):
+                raise RuntimeError("boom")
+        assert config.get_compute_precision() == Precision.FP32
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            config.set_compute_precision("fp8")
+
+
+class TestMixedPrecisionCompute:
+    def test_matmul_quantizes_under_bf16(self, rng):
+        a = rng.normal(size=(16, 16)).astype(np.float32) * (1 + 1e-4)
+        b = rng.normal(size=(16, 16)).astype(np.float32)
+        exact = config.matmul(a, b)
+        with config.compute_precision(Precision.BF16):
+            quantized = config.matmul(a, b)
+        assert not np.array_equal(exact, quantized)
+        assert np.allclose(exact, quantized, rtol=0.05, atol=0.05)
+
+    def test_layers_follow_mode(self, rng):
+        layer = nn.Dense(8, 8, rng)
+        x = rng.normal(size=(4, 8)).astype(np.float32) * (1 + 1e-4)
+        exact = layer.forward(x)
+        with config.compute_precision(Precision.BF16):
+            quantized = layer.forward(x)
+        assert not np.array_equal(exact, quantized)
+
+    def test_training_converges_under_bf16(self):
+        """The accelerator-faithful mode (bfloat16 MACs, FP32 accumulate)
+        still trains the workload — Sec. 3.1's precision setting."""
+        from repro.distributed import SyncDataParallelTrainer
+        from repro.workloads import build_workload
+
+        spec = build_workload("resnet", size="tiny", seed=0)
+        trainer = SyncDataParallelTrainer(spec, num_devices=2, seed=0, test_every=0)
+        with config.compute_precision(Precision.BF16):
+            record = trainer.train(30)
+        assert record.final_train_accuracy() > record.train_acc[0] + 0.2
+        assert record.nonfinite_at is None
+
+
+class TestRTLPrecisionFault:
+    def test_cfg_precision_fault_distorts_outputs(self, rng):
+        """The micro-RTL config-register fault: int16 MACs instead of
+        bfloat16 (the Sec. 4.2.1 immediate-INFs mechanism)."""
+        from repro.accelerator.rtl import MACArraySimulator, RTLFault
+
+        sim = MACArraySimulator()
+        x = rng.normal(size=(4, 64)).astype(np.float32)
+        w = rng.normal(0, 0.1, size=(64, 16)).astype(np.float32)
+        golden = sim.run(x, w)
+        fault = RTLFault("cfg_precision", cycle=0, duration=10**9)
+        faulty = sim.run(x, w, fault)
+        diff = sim.diff_positions(golden, faulty)
+        assert diff.size > 0
+        # int16-quantized operands scale outputs by ~256 on average.
+        ratio = np.abs(faulty).mean() / max(np.abs(golden).mean(), 1e-9)
+        assert ratio > 10

@@ -1,0 +1,181 @@
+"""Tests for two-iteration re-execution recovery (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.ffs import FFDescriptor
+from repro.core.faults import FaultInjector, HardwareFault, OpSite
+from repro.core.mitigation import (
+    HardwareFailureDetector,
+    MitigationHook,
+    RecoveryError,
+    RecoveryManager,
+)
+
+
+def history_fault(iteration=5, seed=3):
+    """A backward-pass group-1 fault that corrupts optimizer history."""
+    ff = FFDescriptor("global_control", group=1, has_feedback=True)
+    return HardwareFault(ff=ff, site=OpSite("1.conv1", "weight_grad"),
+                         iteration=iteration, device=1, seed=seed)
+
+
+class ModerateCorruption:
+    """Synthetic *transient* fault: corrupts one gradient once.
+
+    One-shot by construction — a transient hardware fault does not recur
+    when the iteration is re-executed, so the hook must not either.
+    """
+
+    def __init__(self, iteration: int, scale: float = 1e10):
+        self.iteration = int(iteration)
+        self.scale = float(scale)
+        self.fired = False
+
+    def after_backward(self, trainer, iteration):
+        if iteration == self.iteration and not self.fired:
+            self.fired = True
+            param = next(iter(trainer.master.parameters()))
+            param.grad[:] = self.scale
+
+
+class TestSnapshotRewind:
+    def test_rewind_restores_exact_state(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="snapshot")
+        trainer.add_hook(recovery)
+        trainer.train(5)
+        state_at_3 = None
+        # Capture a reference by replaying a fresh trainer to iteration 3.
+        ref = make_trainer(num_devices=2)
+        ref.train(3)
+        state_at_3 = ref.master.state_dict()
+        resume = recovery.rewind(trainer, iterations=2, detected_at=4)
+        assert resume == 3
+        assert trainer.iteration == 3
+        now = trainer.master.state_dict()
+        for key in state_at_3:
+            assert np.array_equal(now[key], state_at_3[key]), key
+
+    def test_rewind_truncates_record(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="snapshot")
+        trainer.add_hook(recovery)
+        trainer.train(6)
+        recovery.rewind(trainer, detected_at=5)
+        assert trainer.record.num_iterations == 4  # iterations 0-3 kept
+        assert trainer.record.recoveries == [4]
+
+    def test_rewind_without_snapshots_fails(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="snapshot")
+        with pytest.raises(RecoveryError):
+            recovery.rewind(trainer, detected_at=0)
+
+    def test_recovery_limit(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="snapshot", max_recoveries=1)
+        trainer.add_hook(recovery)
+        trainer.train(4)
+        recovery.rewind(trainer, detected_at=3)
+        with pytest.raises(RecoveryError):
+            recovery.rewind(trainer, detected_at=3)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            RecoveryManager(strategy="magic")
+
+
+class TestArithmeticRewind:
+    def test_inverts_adam_step_closely(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="arithmetic")
+        trainer.add_hook(recovery)
+        trainer.train(4)
+        reference = make_trainer(num_devices=2)
+        reference.train(3)
+        ref_state = reference.master.state_dict()
+        resume = recovery.rewind(trainer, iterations=1, detected_at=3)
+        assert resume == 3
+        now = trainer.master.state_dict()
+        for key in ref_state:
+            a, b = now[key], ref_state[key]
+            scale = np.abs(b).max() + 1e-6
+            assert np.abs(a - b).max() / scale < 1e-3, key
+
+    def test_overflowed_state_not_invertible(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        recovery = RecoveryManager(strategy="arithmetic")
+        trainer.add_hook(recovery)
+        trainer.hooks.insert(0, ModerateCorruption(iteration=3, scale=1e30))
+        trainer.train(5)
+        with pytest.raises(RecoveryError, match="not invertible"):
+            recovery.rewind(trainer, detected_at=4)
+
+
+class TestMitigationEndToEnd:
+    def test_detect_recover_continue(self, make_trainer):
+        """The full Sec. 5 pipeline: a history-corrupting fault is
+        detected within two iterations, two iterations are re-executed,
+        and training finishes with fault-free-level accuracy."""
+        trainer = make_trainer(num_devices=2, test_every=10)
+        detector = HardwareFailureDetector()
+        mitigation = MitigationHook(detector, RecoveryManager(strategy="snapshot"))
+        injector = FaultInjector(history_fault(iteration=10, seed=3))
+        trainer.add_hook(injector)
+        trainer.add_hook(mitigation)
+        trainer.train(50)
+        rec = trainer.record
+
+        baseline = make_trainer(num_devices=2, test_every=10)
+        baseline.train(50)
+
+        assert detector.fired
+        assert detector.detection_latency(10) <= 2
+        assert rec.recoveries  # re-execution happened
+        assert rec.nonfinite_at is None
+        # History values are clean again after recovery.
+        assert trainer.optimizer.history_magnitude() < 1e3
+        assert rec.final_train_accuracy() >= baseline.record.final_train_accuracy() - 0.1
+
+    def test_mitigated_run_matches_unfaulted_trajectory(self, make_trainer):
+        """After recovery, the re-executed iterations see the same batches
+        and random draws, so the trajectory equals the fault-free run."""
+        trainer = make_trainer(num_devices=2)
+        detector = HardwareFailureDetector()
+        mitigation = MitigationHook(detector, RecoveryManager(strategy="snapshot"))
+        trainer.add_hook(ModerateCorruption(iteration=6, scale=1e12))
+        trainer.add_hook(mitigation)
+        trainer.train(12)
+
+        clean = make_trainer(num_devices=2)
+        clean.train(12)
+        for (n1, p1), (n2, p2) in zip(
+            trainer.master.named_parameters(), clean.master.named_parameters()
+        ):
+            assert np.allclose(p1.data, p2.data, atol=1e-5), n1
+
+    def test_arithmetic_strategy_end_to_end(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        detector = HardwareFailureDetector()
+        mitigation = MitigationHook(detector, RecoveryManager(strategy="arithmetic"))
+        trainer.add_hook(ModerateCorruption(iteration=6, scale=1e10))
+        trainer.add_hook(mitigation)
+        trainer.train(15)
+        assert detector.fired
+        assert trainer.record.recoveries
+        assert trainer.optimizer.history_magnitude() < 1e3
+        assert trainer.record.final_train_accuracy() > 0.3
+
+    def test_inf_nan_fault_recovered(self, make_trainer):
+        """Even a fault that would make the loss non-finite is caught and
+        rolled back: the training loop continues instead of stopping."""
+        trainer = make_trainer(num_devices=2)
+        detector = HardwareFailureDetector()
+        mitigation = MitigationHook(detector, RecoveryManager(strategy="snapshot"))
+        trainer.add_hook(ModerateCorruption(iteration=5, scale=1e38))
+        trainer.add_hook(mitigation)
+        rec = trainer.train(12)
+        assert rec.nonfinite_at is None
+        assert rec.recoveries
+        assert rec.num_iterations == 12

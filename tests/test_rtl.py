@@ -1,0 +1,163 @@
+"""Tests for the micro-RTL MAC-array simulator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.rtl import MACArraySimulator, RTLFault
+from repro.tensor.dtypes import to_bfloat16
+
+
+@pytest.fixture
+def sim():
+    return MACArraySimulator()
+
+
+@pytest.fixture
+def operands(rng):
+    x = rng.normal(size=(6, 96)).astype(np.float32)
+    w = rng.normal(0, 0.1, size=(96, 24)).astype(np.float32)
+    return x, w
+
+
+class TestGoldenExecution:
+    def test_matches_bf16_reference(self, sim, operands):
+        x, w = operands
+        out = sim.run(x, w)
+        ref = to_bfloat16(x).astype(np.float32) @ to_bfloat16(w).astype(np.float32)
+        assert np.allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_shape_mismatch_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((2, 3)), np.zeros((4, 5)))
+
+    def test_schedule_geometry(self, sim):
+        # 24 features / 16 lanes = 2 tiles; 96 K / 64 chunk = 2 chunks.
+        assert sim.num_micro_cycles(6, 96, 24) == 2 * 6 * 2
+        assert sim.micro_to_arch_cycle(3, 6, 96, 24) == 1
+        assert sim.write_micro_cycle(0, 96) == 1
+
+    def test_deterministic(self, sim, operands):
+        x, w = operands
+        assert np.array_equal(sim.run(x, w), sim.run(x, w))
+
+
+class TestFaultBehaviors:
+    def test_acc_flip_at_write_changes_one_element(self, sim, operands):
+        x, w = operands
+        golden = sim.run(x, w)
+        # Inject at the final micro-cycle of architectural cycle 0.
+        fault = RTLFault("acc", cycle=sim.write_micro_cycle(0, 96), index=3, bit=30)
+        faulty = sim.run(x, w, fault)
+        diff = sim.diff_positions(golden, faulty)
+        assert diff.size == 1
+        # Arch cycle 0 = tile 0, row 0 -> element (0, lane 3).
+        assert diff[0] == 3
+
+    def test_acc_flip_value_is_bit_flip_of_golden(self, sim, operands):
+        from repro.tensor.bits import flip_float32_bit
+
+        x, w = operands
+        golden = sim.run(x, w)
+        fault = RTLFault("acc", cycle=sim.write_micro_cycle(0, 96), index=3, bit=30)
+        faulty = sim.run(x, w, fault)
+        expected = flip_float32_bit(golden[0, 3], 30)
+        assert faulty[0, 3] == expected
+
+    def test_out_valid_suppression_zeroes_tile(self, sim, operands):
+        """Group 2 in hardware: a suppressed write leaves the buffer's
+        initial zeros for the 16 lanes of that cycle."""
+        x, w = operands
+        fault = RTLFault("out_valid", cycle=sim.write_micro_cycle(0, 96), bit=0)
+        faulty = sim.run(x, w, fault)
+        assert np.all(faulty[0, :16] == 0.0)
+        assert np.any(faulty[0, 16:] != 0.0)
+
+    def test_out_addr_flip_moves_tile(self, sim, operands):
+        """Group 4: outputs written to a wrong address, relative positions
+        kept; the intended row keeps stale zeros.
+
+        The fault targets the *last* row of the tile so the aliased write
+        lands after the alias row's own correct write and persists (a
+        fault on an earlier row would be overwritten by later traffic —
+        hardware masking)."""
+        x, w = operands
+        golden = sim.run(x, w)
+        # Tile 0, row 5 (last row): 5 ^ 1 = 4, already written earlier.
+        fault = RTLFault("out_addr", cycle=sim.write_micro_cycle(5, 96), bit=0)
+        faulty = sim.run(x, w, fault)
+        assert np.all(faulty[5, :16] == 0.0)
+        assert np.allclose(faulty[4, :16], golden[5, :16])
+
+    def test_out_addr_flip_on_early_row_masked_by_overwrite(self, sim, operands):
+        """The same fault on row 0: the alias row (2) is rewritten later
+        by its own correct write, so only the hole at row 0 remains."""
+        x, w = operands
+        golden = sim.run(x, w)
+        fault = RTLFault("out_addr", cycle=sim.write_micro_cycle(0, 96), bit=1)
+        faulty = sim.run(x, w, fault)
+        assert np.all(faulty[0, :16] == 0.0)
+        assert np.allclose(faulty[2, :16], golden[2, :16])
+
+    def test_in_valid_zero_inputs_reduces_output(self, sim, operands):
+        """Groups 7/8: a chunk of inputs read as zeros removes partial
+        sums from the affected outputs."""
+        x, w = operands
+        golden = sim.run(x, w)
+        fault = RTLFault("in_valid", cycle=0, bit=1)  # invalid->valid: zeros
+        faulty = sim.run(x, w, fault)
+        diff = sim.diff_positions(golden, faulty)
+        # Only arch cycle 0's lanes (row 0, tile 0) can differ.
+        assert diff.size > 0
+        assert np.all(diff < 16)
+        # The damaged outputs equal the contribution of the second chunk.
+        partial = to_bfloat16(x[0:1, 64:]).astype(np.float32) @ to_bfloat16(
+            w[64:, :16]
+        ).astype(np.float32)
+        assert np.allclose(faulty[0, :16], partial[0], rtol=1e-3, atol=1e-3)
+
+    def test_in_valid_stale_reuses_previous_operands(self, sim, operands):
+        """Groups 9/10: valid->invalid makes the datapath reuse stale
+        operand registers."""
+        x, w = operands
+        golden = sim.run(x, w)
+        fault = RTLFault("in_valid", cycle=1, bit=0)  # second chunk stale
+        faulty = sim.run(x, w, fault)
+        diff = sim.diff_positions(golden, faulty)
+        assert diff.size > 0
+        assert np.all(diff < 16)
+
+    def test_a_reg_flip_hits_full_lane_row(self, sim, operands):
+        x, w = operands
+        golden = sim.run(x, w)
+        fault = RTLFault("a_reg", cycle=0, index=5, bit=14)  # upper exponent
+        faulty = sim.run(x, w, fault)
+        diff = sim.diff_positions(golden, faulty)
+        assert 1 <= diff.size <= 16
+        assert np.all(diff < 16)
+
+    def test_mantissa_flip_can_be_masked(self, sim, operands):
+        """Low-order bfloat16 mantissa flips of tiny operands can vanish
+        below accumulator resolution — hardware masking."""
+        x, w = operands
+        fault = RTLFault("a_reg", cycle=0, index=5, bit=0)
+        faulty = sim.run(x, w, fault)
+        golden = sim.run(x, w)
+        # Either masked or a small perturbation of cycle 0's lanes.
+        diff = sim.diff_positions(golden, faulty)
+        assert np.all(diff < 16)
+
+    def test_invalid_ff_name(self):
+        with pytest.raises(ValueError):
+            RTLFault("bogus", cycle=0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            RTLFault("acc", cycle=0, duration=0)
+
+
+class TestDiffPositions:
+    def test_nan_equal_nan(self, sim):
+        a = np.array([[np.nan, 1.0]])
+        b = np.array([[np.nan, 2.0]])
+        assert sim.diff_positions(a, b).tolist() == [1]

@@ -1,0 +1,83 @@
+"""Tests for campaign result serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.accelerator.ffs import FFDescriptor
+from repro.core.faults import Campaign, HardwareFault, OpSite
+from repro.core.faults.serialization import (
+    campaign_from_dict,
+    campaign_to_dict,
+    fault_from_dict,
+    fault_to_dict,
+    load_campaign,
+    merge_campaigns,
+    save_campaign,
+)
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    spec = build_workload("resnet", size="tiny", seed=0)
+    campaign = Campaign(spec, num_devices=2, seed=0, warmup_iterations=6,
+                        horizon=12, inject_window=4, test_every=6)
+    return campaign.run(num_experiments=4, seed=2)
+
+
+class TestFaultRoundTrip:
+    @pytest.mark.parametrize("ff", [
+        FFDescriptor("datapath", bit=30, has_feedback=True),
+        FFDescriptor("local_control"),
+        FFDescriptor("global_control", group=7, has_feedback=True),
+    ])
+    def test_round_trip(self, ff):
+        fault = HardwareFault(ff=ff, site=OpSite("1.conv1", "forward"),
+                              iteration=12, device=3, seed=99)
+        back = fault_from_dict(fault_to_dict(fault))
+        assert back.ff == fault.ff
+        assert back.site == fault.site
+        assert (back.iteration, back.device, back.seed) == (12, 3, 99)
+
+    def test_json_stable(self):
+        fault = HardwareFault(ff=FFDescriptor("datapath", bit=5),
+                              site=OpSite("x", "forward"), iteration=1,
+                              device=0, seed=2)
+        text = json.dumps(fault_to_dict(fault))
+        assert fault_from_dict(json.loads(text)).ff.bit == 5
+
+
+class TestCampaignRoundTrip:
+    def test_preserves_statistics(self, small_result):
+        back = campaign_from_dict(campaign_to_dict(small_result))
+        assert back.workload == small_result.workload
+        assert back.num_experiments == small_result.num_experiments
+        assert back.breakdown() == small_result.breakdown()
+        assert back.unexpected_fraction() == small_result.unexpected_fraction()
+
+    def test_nonfinite_values_survive(self, small_result):
+        # Force an inf condition value and round-trip it.
+        small_result.results[0].condition_window["max_mvar"] = float("inf")
+        back = campaign_from_dict(campaign_to_dict(small_result))
+        assert back.results[0].condition_window["max_mvar"] == float("inf")
+
+    def test_save_load(self, small_result, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(small_result, path)
+        loaded = load_campaign(path)
+        assert loaded.num_experiments == small_result.num_experiments
+
+    def test_merge(self, small_result):
+        merged = merge_campaigns([small_result, small_result])
+        assert merged.num_experiments == 2 * small_result.num_experiments
+
+    def test_merge_rejects_mixed_workloads(self, small_result):
+        from repro.core.faults.campaign import CampaignResult
+
+        other = CampaignResult(workload="densenet")
+        with pytest.raises(ValueError):
+            merge_campaigns([small_result, other])
+        with pytest.raises(ValueError):
+            merge_campaigns([])

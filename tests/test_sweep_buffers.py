@@ -1,0 +1,96 @@
+"""Tests for the sweep driver and the on-chip buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.buffers import BufferModel, conv_footprint
+from repro.accelerator.config import AcceleratorConfig
+from repro.core.faults import Campaign
+from repro.core.faults.sweep import SweepAxis, SweepResult, run_sweep
+from repro.workloads import build_workload
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        spec = build_workload("resnet", size="tiny", seed=0)
+        campaign = Campaign(spec, num_devices=2, seed=0, warmup_iterations=6,
+                            horizon=12, inject_window=4, test_every=6)
+        campaign.prepare()
+        return campaign
+
+    def test_grid_cells(self, campaign):
+        result = run_sweep(campaign, [
+            SweepAxis("iteration", [7, 9]),
+            SweepAxis("seed", [1, 2, 3]),
+        ])
+        assert len(result.cells) == 6
+        assert (7, 1) in result.cells
+
+    def test_marginal_reduction(self, campaign):
+        result = run_sweep(campaign, [
+            SweepAxis("iteration", [7, 9]),
+            SweepAxis("seed", [1, 2]),
+        ])
+        rates = result.unexpected_rate_by("iteration")
+        assert set(rates) == {7, 9}
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_site_axis(self, campaign):
+        result = run_sweep(campaign, [
+            SweepAxis("site", [("1.conv1", "forward"), ("1.conv1", "weight_grad")]),
+        ])
+        assert len(result.cells) == 2
+
+    def test_bit_axis_overrides_group(self, campaign):
+        result = run_sweep(campaign, [SweepAxis("bit", [3, 30])])
+        for key, experiment in result.cells.items():
+            assert experiment.fault.ff.category == "datapath"
+            assert experiment.fault.ff.bit == key[0]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SweepAxis("iteration", [])
+
+
+class TestBufferModel:
+    def test_small_tile_fits(self):
+        fp = conv_footprint(8, 16, 3, 16, 16, batch=8)
+        model = BufferModel()
+        assert model.fits(fp)
+        assert model.dram_round_trips(fp) == 1
+        assert model.input_read_cycles(fp) == "buffer"
+
+    def test_large_tile_streams_from_dram(self):
+        fp = conv_footprint(256, 256, 3, 64, 64, batch=8)
+        model = BufferModel()
+        assert not model.fits(fp)
+        assert model.dram_round_trips(fp) > 1
+        assert model.input_read_cycles(fp) == "dram"
+
+    def test_round_trips_monotone_in_size(self):
+        model = BufferModel()
+        small = conv_footprint(16, 16, 3, 32, 32)
+        large = conv_footprint(64, 64, 3, 64, 64)
+        assert model.dram_round_trips(small) <= model.dram_round_trips(large)
+
+    def test_feedback_bound_clamped(self):
+        model = BufferModel()
+        tiny = conv_footprint(1, 1, 1, 2, 2)
+        big = conv_footprint(64, 64, 3, 32, 32)
+        assert 1 <= model.max_feedback_cycles(tiny)
+        assert model.max_feedback_cycles(big) == model.config.max_feedback_loop
+
+    def test_capacity_follows_config(self):
+        small_cfg = AcceleratorConfig(buffer_kb=1)
+        fp = conv_footprint(8, 8, 3, 16, 16)
+        assert not BufferModel(small_cfg).fits(fp)
+        assert BufferModel().capacity_bytes == 512 * 1024
+
+    def test_footprint_totals(self):
+        fp = conv_footprint(2, 4, 3, 8, 8, batch=2)
+        assert fp.input_bytes == 2 * 2 * 8 * 8 * 2      # bf16 inputs
+        assert fp.weight_bytes == 4 * 2 * 9 * 2         # bf16 weights
+        assert fp.output_bytes == 2 * 4 * 8 * 8 * 4     # fp32 outputs
+        assert fp.total_bytes == (fp.input_bytes + fp.weight_bytes
+                                  + fp.output_bytes + fp.partial_sum_bytes)

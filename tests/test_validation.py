@@ -1,0 +1,63 @@
+"""Tests for the Sec. 3.2.3 software-vs-RTL validation."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.rtl import MACArraySimulator, RTLFault
+from repro.core.faults.validation import (
+    predicted_positions_for,
+    run_validation,
+)
+
+
+class TestValidationCampaign:
+    def test_all_non_masked_faults_match(self):
+        """The paper's validation result: every non-masked RTL fault's
+        faulty output elements fall within the software model's predicted
+        positions."""
+        summary = run_validation(num_experiments=150, seed=0)
+        assert summary.total == 150
+        assert summary.mismatched == 0
+        assert summary.match_rate == 1.0
+        # Some faults are masked by hardware, some are not.
+        assert 0 < summary.masked < summary.total
+
+    def test_different_geometry(self):
+        summary = run_validation(num_experiments=60, m=7, k=130, f=40, seed=1)
+        assert summary.mismatched == 0
+
+    def test_cases_recorded(self):
+        summary = run_validation(num_experiments=20, seed=2)
+        assert len(summary.cases) == 20
+        for case in summary.cases:
+            assert case.masked == (case.rtl_positions.size == 0)
+
+
+class TestPredictedPositions:
+    def test_acc_prediction_single_lane(self):
+        sim = MACArraySimulator()
+        m, k, f = 6, 96, 24
+        fault = RTLFault("acc", cycle=sim.write_micro_cycle(0, k), index=3, bit=30)
+        predicted = predicted_positions_for(fault, sim, m, k, f)
+        assert predicted.tolist() == [3]
+
+    def test_out_addr_prediction_covers_alias(self):
+        sim = MACArraySimulator()
+        m, k, f = 6, 96, 24
+        fault = RTLFault("out_addr", cycle=sim.write_micro_cycle(0, k), bit=1)
+        predicted = predicted_positions_for(fault, sim, m, k, f)
+        # Row 0 lanes and row 2 lanes of tile 0.
+        assert set(predicted.tolist()) == set(range(16)) | set(range(2 * f, 2 * f + 16))
+
+    def test_rtl_diff_is_subset_of_prediction(self, rng):
+        sim = MACArraySimulator()
+        m, k, f = 6, 96, 24
+        x = rng.normal(size=(m, k)).astype(np.float32)
+        w = rng.normal(0, 0.1, size=(k, f)).astype(np.float32)
+        golden = sim.run(x, w)
+        for ff, idx, bit in [("a_reg", 5, 14), ("in_valid", 0, 1), ("out_valid", 0, 0)]:
+            fault = RTLFault(ff, cycle=1, index=idx, bit=bit)
+            faulty = sim.run(x, w, fault)
+            diff = sim.diff_positions(golden, faulty)
+            predicted = predicted_positions_for(fault, sim, m, k, f)
+            assert np.isin(diff, predicted).all()
