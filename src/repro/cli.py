@@ -7,6 +7,10 @@ injection, evaluate the technique) as subcommands::
     python -m repro inject resnet --site 1.conv1 --kind weight_grad \\
         --group 1 --iteration 20 --device 1
     python -m repro campaign resnet --experiments 40
+    python -m repro campaign resnet --experiments 400 --parallel 4 \\
+        --store results.jsonl --resume --progress-every 20
+    python -m repro report results.jsonl
+    python -m repro merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro validate --experiments 400
     python -m repro mitigate resnet --iteration 20
 
@@ -102,13 +106,84 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def _progress_printer(every: int):
+    """Progress callback printing a status line every ``every`` completions."""
+    if every <= 0:
+        return None
+    last = [0]
+
+    def on_progress(snapshot):
+        if snapshot.done - last[0] >= every or snapshot.remaining == 0:
+            last[0] = snapshot.done
+            print(snapshot.render(), file=sys.stderr, flush=True)
+
+    return on_progress
+
+
 def cmd_campaign(args) -> int:
     """``repro campaign``: statistical FI with aggregate statistics."""
+    if args.resume and not args.store:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
                         test_every=max(spec.iterations // 6, 1))
-    result = campaign.run(args.experiments, seed=args.campaign_seed)
+    result = campaign.run(
+        args.experiments, seed=args.campaign_seed,
+        parallel=args.parallel, store=args.store, resume=args.resume,
+        timeout=args.timeout, max_retries=args.retries,
+        on_progress=_progress_printer(args.progress_every))
     print(render_campaign(result))
+    report = result.engine_report
+    if report is not None:
+        print(f"engine: {report.executed} executed, {report.skipped} resumed, "
+              f"{len(report.quarantined)} quarantined, {report.retries} "
+              f"retries in {report.elapsed:.1f}s "
+              f"({report.snapshot.throughput:.2f} exp/s, "
+              f"{args.parallel} worker{'s' if args.parallel != 1 else ''})")
+    if args.store:
+        print(f"result store: {args.store}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report``: summarize a persistent result store."""
+    from repro.engine import EXPERIMENT, QUARANTINE, read_records, store_to_campaign
+
+    records = read_records(args.store)
+    header = records[0]
+    kind = header.get("kind", "campaign")
+    experiments = [r for r in records[1:] if r["record"] == EXPERIMENT]
+    quarantined = [r for r in records[1:] if r["record"] == QUARANTINE]
+    meta = header.get("meta") or {}
+    print(f"# store: {args.store}")
+    print(f"kind {kind}, schema {header.get('schema')}, "
+          f"{len(experiments)} experiments, {len(quarantined)} quarantined")
+    if meta:
+        print("meta: " + ", ".join(f"{k}={v}" for k, v in meta.items()))
+    if kind == "campaign":
+        print()
+        print(render_campaign(store_to_campaign(args.store)))
+    elif kind == "inference":
+        n = max(len(experiments), 1)
+        sdc = sum(bool(r["payload"].get("sdc")) for r in experiments)
+        nonfinite = sum(bool(r["payload"].get("nonfinite")) for r in experiments)
+        print(f"sdc rate {sdc / n:.2%}, nonfinite rate {nonfinite / n:.2%}")
+    if quarantined:
+        print("quarantined experiments:")
+        for record in quarantined:
+            print(f"  {record['key']}: {record.get('error', '?')}")
+    return 0
+
+
+def cmd_merge(args) -> int:
+    """``repro merge``: merge partial result stores into one."""
+    from repro.engine import merge_stores
+
+    with merge_stores(args.inputs, args.output) as merged:
+        print(f"merged {len(args.inputs)} stores into {args.output}: "
+              f"{len(merged.completed)} experiments, "
+              f"{len(merged.quarantined)} quarantined")
     return 0
 
 
@@ -188,7 +263,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(campaign)
     campaign.add_argument("--experiments", type=int, default=30)
     campaign.add_argument("--campaign-seed", type=int, default=77)
+    campaign.add_argument("--parallel", type=int, default=1,
+                          help="worker processes (default: 1 = in-process)")
+    campaign.add_argument("--store", metavar="PATH",
+                          help="stream results into a persistent JSONL "
+                               "result store (resumable, mergeable)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="continue an existing --store, skipping "
+                               "already-finished experiments")
+    campaign.add_argument("--timeout", type=float,
+                          help="per-experiment deadline in seconds "
+                               "(parallel mode)")
+    campaign.add_argument("--retries", type=int, default=2,
+                          help="retries before quarantining an experiment "
+                               "(default: 2)")
+    campaign.add_argument("--progress-every", type=int, default=0,
+                          metavar="N",
+                          help="print a progress/telemetry line to stderr "
+                               "every N completed experiments (default: off)")
     campaign.set_defaults(func=cmd_campaign)
+
+    report = sub.add_parser("report",
+                            help="summarize a persistent result store")
+    report.add_argument("store", help="path of a JSONL result store")
+    report.set_defaults(func=cmd_report)
+
+    merge = sub.add_parser("merge",
+                           help="merge partial result stores (dedup by key)")
+    merge.add_argument("output", help="destination store path")
+    merge.add_argument("inputs", nargs="+", help="source store paths")
+    merge.set_defaults(func=cmd_merge)
 
     validate = sub.add_parser("validate",
                               help="validate software fault models vs micro-RTL")
@@ -213,7 +317,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, FileExistsError, FileNotFoundError) as exc:
+        # Predictable operator errors (clobbering a store without
+        # --resume, unknown schema versions, missing files) get a clean
+        # message instead of a traceback.  StoreSchemaError and
+        # StoreFormatError are ValueError subclasses.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

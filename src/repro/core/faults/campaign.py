@@ -66,6 +66,9 @@ class CampaignResult:
 
     workload: str
     results: list[ExperimentResult] = field(default_factory=list)
+    #: The :class:`repro.engine.EngineReport` of the run that produced
+    #: this result, when it was executed through the engine.
+    engine_report: object = field(default=None, repr=False, compare=False)
 
     @property
     def num_experiments(self) -> int:
@@ -184,11 +187,17 @@ class Campaign:
             eval_device=eval_device,
         )
 
+    def _ensure_site_model(self) -> None:
+        """Build the op-site enumeration model (much cheaper than
+        :meth:`prepare`, so faults can be sampled without training)."""
+        if self._site_model is None:
+            self._site_model = self.spec.build_model(self.seed)
+
     def prepare(self) -> None:
         """Train the fault-free baseline and reference (idempotent)."""
         if self._snapshot is not None:
             return
-        self._site_model = self.spec.build_model(self.seed)
+        self._ensure_site_model()
         trainer = self._new_trainer()
         trainer.train(self.warmup_iterations)
         self._snapshot = Checkpoint.capture(trainer)
@@ -203,7 +212,7 @@ class Campaign:
     def sample_experiment(self, rng: np.random.Generator) -> HardwareFault:
         """Sample a fault whose injection falls inside the campaign's
         injection window (post-warmup)."""
-        self.prepare()
+        self._ensure_site_model()
         fault = sample_fault(
             self._site_model, rng,
             max_iteration=self.inject_window,
@@ -239,15 +248,101 @@ class Campaign:
         )
 
     # ------------------------------------------------------------------
-    # Full campaign
+    # Full campaign (thin front-end over repro.engine)
     # ------------------------------------------------------------------
-    def run(self, num_experiments: int, seed: int = 1234) -> CampaignResult:
-        """Run ``num_experiments`` seeded experiments and aggregate."""
+    def sample_faults(self, num_experiments: int, seed: int = 1234) -> list[HardwareFault]:
+        """Sample the campaign's full experiment list up-front.
+
+        Sampling is decoupled from execution so the seeded fault list —
+        and therefore every experiment key — is identical regardless of
+        worker count or resume point."""
         rng = np.random.default_rng(seed)
-        result = CampaignResult(workload=self.spec.name)
-        for _ in range(int(num_experiments)):
-            fault = self.sample_experiment(rng)
-            result.results.append(self.run_experiment(fault))
+        return [self.sample_experiment(rng) for _ in range(int(num_experiments))]
+
+    def _work_units(self, faults: list[HardwareFault]) -> list:
+        from repro.core.faults.serialization import fault_to_dict
+        from repro.engine import WorkUnit, experiment_key
+
+        units = []
+        for index, fault in enumerate(faults):
+            desc = fault_to_dict(fault)
+            units.append(WorkUnit(key=experiment_key(index, desc),
+                                  payload={"index": index, "fault": desc}))
+        return units
+
+    def _engine_runner(self):
+        """Runner factory for the engine (invoked once per worker)."""
+        from repro.core.faults.serialization import (
+            experiment_to_dict,
+            fault_from_dict,
+        )
+
+        self.prepare()
+
+        def run_unit(payload: dict) -> dict:
+            result = self.run_experiment(fault_from_dict(payload["fault"]))
+            out = experiment_to_dict(result)
+            out["index"] = payload["index"]
+            return out
+
+        return run_unit
+
+    def run(self, num_experiments: int, seed: int = 1234, *,
+            parallel: int = 1, store=None, resume: bool = False,
+            timeout: float | None = None, max_retries: int = 2,
+            on_progress=None) -> CampaignResult:
+        """Run ``num_experiments`` seeded experiments and aggregate.
+
+        Execution is delegated to :class:`repro.engine.CampaignEngine`:
+        ``parallel`` fans experiments out over that many forked workers,
+        ``store`` streams results into a persistent
+        :class:`~repro.engine.store.ResultStore` (a path or an open
+        store), and ``resume=True`` skips experiments the store already
+        holds.  Experiments are fully seeded, so the aggregate outcome
+        breakdown is identical at any worker count.
+        """
+        from repro.core.faults.serialization import experiment_from_dict
+        from repro.engine import CampaignEngine, EngineConfig, ResultStore
+
+        faults = self.sample_faults(num_experiments, seed)
+        if self.keep_records:
+            if parallel > 1 or store is not None:
+                raise ValueError(
+                    "keep_records campaigns retain full convergence records, "
+                    "which the engine does not serialize; run with "
+                    "parallel=1 and no store")
+            result = CampaignResult(workload=self.spec.name)
+            for fault in faults:
+                result.results.append(self.run_experiment(fault))
+            return result
+
+        if parallel > 1:
+            # Prepare in the parent so forked workers inherit the trained
+            # baseline snapshot instead of each retraining it.
+            self.prepare()
+        owns_store = store is not None and not isinstance(store, ResultStore)
+        store_obj = store
+        if owns_store:
+            store_obj = ResultStore(
+                store, kind="campaign",
+                meta={"workload": self.spec.name, "seed": int(seed),
+                      "num_experiments": int(num_experiments)},
+                resume=resume)
+        engine = CampaignEngine(
+            self._engine_runner,
+            EngineConfig(parallel=int(parallel), timeout=timeout,
+                         max_retries=int(max_retries)),
+            store=store_obj, on_progress=on_progress)
+        try:
+            report = engine.run(self._work_units(faults))
+        finally:
+            if owns_store:
+                store_obj.close()
+        payloads = sorted(report.results.values(), key=lambda p: p["index"])
+        result = CampaignResult(
+            workload=self.spec.name,
+            results=[experiment_from_dict(p) for p in payloads])
+        result.engine_report = report
         return result
 
 
@@ -271,30 +366,85 @@ class InferenceCampaign:
         self.model = trainer.master
         self.inventory = FFInventory()
 
-    def run(self, num_experiments: int, seed: int = 99, batch: int = 32) -> dict[str, float]:
-        rng = np.random.default_rng(seed)
-        x = self.spec.test_data.inputs[:batch]
-        self.model.eval()
-        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            golden = self.model.forward(x)
-        golden_pred = np.argmax(np.nan_to_num(golden, nan=-np.inf), axis=-1)
-        sdc = 0
-        nonfinite = 0
-        for _ in range(int(num_experiments)):
-            fault = sample_fault(self.model, rng, max_iteration=1, num_devices=1,
-                                 inventory=self.inventory, kinds=("forward",))
+    def _engine_runner(self):
+        """Runner factory: one forward-pass injection per work unit."""
+        from repro.core.faults.serialization import fault_from_dict
+
+        def run_unit(payload: dict) -> dict:
+            fault = fault_from_dict(payload["fault"])
             injector = FaultInjector(fault)
             modules = dict(self.model.named_modules())
             module = modules[fault.site.module_name]
             module.set_fault_hook("forward", injector._fault_hook)
-            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-                faulty = self.model.forward(x)
-            module.set_fault_hook("forward", None)
-            if not np.all(np.isfinite(faulty)):
-                nonfinite += 1
+            try:
+                with np.errstate(over="ignore", invalid="ignore",
+                                 divide="ignore"):
+                    faulty = self.model.forward(self._inputs)
+            finally:
+                module.set_fault_hook("forward", None)
+            nonfinite = not bool(np.all(np.isfinite(faulty)))
             pred = np.argmax(np.nan_to_num(faulty, nan=-np.inf), axis=-1)
-            if np.any(pred != golden_pred):
-                sdc += 1
-        self.model.train()
+            sdc = bool(np.any(pred != self._golden_pred))
+            outcome = "sdc" if sdc else ("nonfinite" if nonfinite else "masked")
+            return {"index": payload["index"], "fault": payload["fault"],
+                    "sdc": sdc, "nonfinite": nonfinite, "outcome": outcome}
+
+        return run_unit
+
+    def run(self, num_experiments: int, seed: int = 99, batch: int = 32, *,
+            parallel: int = 1, store=None, resume: bool = False,
+            timeout: float | None = None, max_retries: int = 2,
+            on_progress=None) -> dict[str, float]:
+        """Inject ``num_experiments`` forward-pass faults and report SDC
+        rates; engine keywords behave as in :meth:`Campaign.run`."""
+        from repro.core.faults.serialization import fault_to_dict
+        from repro.engine import (
+            CampaignEngine,
+            EngineConfig,
+            ResultStore,
+            WorkUnit,
+            experiment_key,
+        )
+
+        rng = np.random.default_rng(seed)
+        faults = [
+            sample_fault(self.model, rng, max_iteration=1, num_devices=1,
+                         inventory=self.inventory, kinds=("forward",))
+            for _ in range(int(num_experiments))
+        ]
+        self._inputs = self.spec.test_data.inputs[:batch]
+        self.model.eval()
+        try:
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                golden = self.model.forward(self._inputs)
+            self._golden_pred = np.argmax(
+                np.nan_to_num(golden, nan=-np.inf), axis=-1)
+            units = []
+            for index, fault in enumerate(faults):
+                desc = fault_to_dict(fault)
+                units.append(WorkUnit(key=experiment_key(index, desc),
+                                      payload={"index": index, "fault": desc}))
+            owns_store = store is not None and not isinstance(store, ResultStore)
+            store_obj = store
+            if owns_store:
+                store_obj = ResultStore(
+                    store, kind="inference",
+                    meta={"workload": self.spec.name, "seed": int(seed),
+                          "num_experiments": int(num_experiments)},
+                    resume=resume)
+            engine = CampaignEngine(
+                self._engine_runner,
+                EngineConfig(parallel=int(parallel), timeout=timeout,
+                             max_retries=int(max_retries)),
+                store=store_obj, on_progress=on_progress)
+            try:
+                report = engine.run(units)
+            finally:
+                if owns_store:
+                    store_obj.close()
+        finally:
+            self.model.train()
         n = max(int(num_experiments), 1)
-        return {"sdc_rate": sdc / n, "nonfinite_rate": nonfinite / n}
+        payloads = report.results.values()
+        return {"sdc_rate": sum(p["sdc"] for p in payloads) / n,
+                "nonfinite_rate": sum(p["nonfinite"] for p in payloads) / n}

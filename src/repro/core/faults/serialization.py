@@ -20,6 +20,11 @@ from repro.core.faults.campaign import CampaignResult, ExperimentResult
 from repro.core.faults.hardware import HardwareFault, OpSite
 
 
+#: Schema version written into serialized campaign documents.  Bump on
+#: any incompatible change; readers reject versions they do not know.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+
 def _json_safe(value):
     """Map inf/NaN to strings (JSON has no literals for them)."""
     if isinstance(value, float):
@@ -31,12 +36,24 @@ def _json_safe(value):
 
 
 def _from_json_number(value):
-    if value == "nan":
-        return float("nan")
-    if value == "inf":
-        return float("inf")
-    if value == "-inf":
-        return float("-inf")
+    """Inverse of :func:`_json_safe`.
+
+    Only the three sentinel strings the writer emits are accepted; any
+    other string means the document was hand-edited or written by an
+    incompatible serializer, and silently coercing it (the old
+    ``float(value)`` fallback) would misparse e.g. ``"NaN"`` or ``"1e3"``
+    written by another tool.
+    """
+    if isinstance(value, str):
+        if value == "nan":
+            return float("nan")
+        if value == "inf":
+            return float("inf")
+        if value == "-inf":
+            return float("-inf")
+        raise ValueError(
+            f"unrecognized serialized number {value!r}; expected 'nan', "
+            f"'inf', '-inf', or a JSON number")
     return float(value)
 
 
@@ -108,12 +125,19 @@ def experiment_from_dict(data: dict) -> ExperimentResult:
 
 def campaign_to_dict(result: CampaignResult) -> dict:
     return {
+        "schema": CAMPAIGN_SCHEMA_VERSION,
         "workload": result.workload,
         "results": [experiment_to_dict(r) for r in result.results],
     }
 
 
 def campaign_from_dict(data: dict) -> CampaignResult:
+    schema = data.get("schema")
+    # ``None`` is accepted for documents written before versioning.
+    if schema is not None and schema != CAMPAIGN_SCHEMA_VERSION:
+        raise ValueError(
+            f"campaign document schema version {schema!r} is not supported "
+            f"(this build reads version {CAMPAIGN_SCHEMA_VERSION})")
     return CampaignResult(
         workload=data["workload"],
         results=[experiment_from_dict(r) for r in data["results"]],

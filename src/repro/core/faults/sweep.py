@@ -11,9 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterable
-
-import numpy as np
 
 from repro.accelerator.ffs import FFDescriptor
 from repro.core.faults.campaign import Campaign, ExperimentResult
@@ -54,10 +51,40 @@ class SweepResult:
         )
 
 
+def _cell_fault(campaign: Campaign, names: list[str], combo: tuple,
+                base_seed: int) -> HardwareFault:
+    """Build the fully specified fault for one grid cell."""
+    settings = dict(zip(names, combo))
+    if "bit" in settings:
+        ff = FFDescriptor("datapath", bit=int(settings["bit"]))
+    else:
+        ff = FFDescriptor("global_control",
+                          group=int(settings.get("group", 1)),
+                          has_feedback=True)
+    site = settings.get("site", ("1.conv1", "weight_grad"))
+    if not isinstance(site, OpSite):
+        site = OpSite(*site)
+    return HardwareFault(
+        ff=ff,
+        site=site,
+        iteration=int(settings.get("iteration",
+                                   campaign.warmup_iterations)),
+        device=int(settings.get("device", 0)),
+        seed=int(settings.get("seed", base_seed)),
+    )
+
+
 def run_sweep(
     campaign: Campaign,
     axes: list[SweepAxis],
     base_seed: int = 0,
+    *,
+    parallel: int = 1,
+    store=None,
+    resume: bool = False,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    on_progress=None,
 ) -> SweepResult:
     """Run one experiment per grid cell.
 
@@ -70,28 +97,60 @@ def run_sweep(
     * ``"bit"`` — datapath bit position (overrides ``group``);
     * ``"device"`` — target device index;
     * ``"seed"`` — fault RNG seed.
+
+    Execution is delegated to :class:`repro.engine.CampaignEngine`; the
+    engine keywords (``parallel``, ``store``, ``resume``, ``timeout``,
+    ``max_retries``, ``on_progress``) behave as in
+    :meth:`~repro.core.faults.campaign.Campaign.run`.  Cells whose
+    experiment was quarantined are absent from :attr:`SweepResult.cells`.
     """
+    from repro.core.faults.serialization import (
+        experiment_from_dict,
+        fault_to_dict,
+    )
+    from repro.engine import (
+        CampaignEngine,
+        EngineConfig,
+        ResultStore,
+        WorkUnit,
+        experiment_key,
+    )
+
+    # Prepare in the parent: serial runs need it anyway, and forked
+    # workers then inherit the trained baseline snapshot.
     campaign.prepare()
     result = SweepResult(axes=axes)
     names = [a.name for a in axes]
-    for combo in product(*(a.values for a in axes)):
-        settings = dict(zip(names, combo))
-        if "bit" in settings:
-            ff = FFDescriptor("datapath", bit=int(settings["bit"]))
-        else:
-            ff = FFDescriptor("global_control",
-                              group=int(settings.get("group", 1)),
-                              has_feedback=True)
-        site = settings.get("site", ("1.conv1", "weight_grad"))
-        if not isinstance(site, OpSite):
-            site = OpSite(*site)
-        fault = HardwareFault(
-            ff=ff,
-            site=site,
-            iteration=int(settings.get("iteration",
-                                       campaign.warmup_iterations)),
-            device=int(settings.get("device", 0)),
-            seed=int(settings.get("seed", base_seed)),
-        )
-        result.cells[combo] = campaign.run_experiment(fault)
+    combos = list(product(*(a.values for a in axes)))
+    units = []
+    keys: dict[tuple, str] = {}
+    for index, combo in enumerate(combos):
+        desc = fault_to_dict(_cell_fault(campaign, names, combo, base_seed))
+        key = experiment_key(index, desc)
+        keys[combo] = key
+        units.append(WorkUnit(key=key, payload={"index": index, "fault": desc}))
+
+    owns_store = store is not None and not isinstance(store, ResultStore)
+    store_obj = store
+    if owns_store:
+        store_obj = ResultStore(
+            store, kind="sweep",
+            meta={"workload": campaign.spec.name,
+                  "axes": {a.name: len(a.values) for a in axes},
+                  "base_seed": int(base_seed)},
+            resume=resume)
+    engine = CampaignEngine(
+        campaign._engine_runner,
+        EngineConfig(parallel=int(parallel), timeout=timeout,
+                     max_retries=int(max_retries)),
+        store=store_obj, on_progress=on_progress)
+    try:
+        report = engine.run(units)
+    finally:
+        if owns_store:
+            store_obj.close()
+    for combo in combos:
+        payload = report.results.get(keys[combo])
+        if payload is not None:
+            result.cells[combo] = experiment_from_dict(payload)
     return result

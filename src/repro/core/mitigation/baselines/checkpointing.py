@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.training.checkpoints import Checkpoint, CheckpointStore
+from repro.training.checkpoints import CheckpointStore
 
 
 @dataclass

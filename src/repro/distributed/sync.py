@@ -17,8 +17,6 @@ back.  Key fidelity points:
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.data.loader import BatchLoader

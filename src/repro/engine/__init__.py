@@ -1,0 +1,51 @@
+"""Parallel campaign-execution engine (Sec. 3.3 scale-out).
+
+The paper's characterization required >2.9M fault-injection experiments
+across fleets of accelerators; this subsystem provides the orchestration
+layer that makes such campaigns practical: a :class:`CampaignEngine`
+that fans seeded work units out over a forked worker pool with
+per-experiment timeout/retry/quarantine, a persistent append-only
+:class:`ResultStore` that makes runs resumable and mergeable, and
+progress telemetry (throughput, outcome breakdown, ETA, worker health).
+
+``Campaign``, ``InferenceCampaign`` and ``run_sweep`` submit work units
+here; the engine itself is payload-agnostic.
+"""
+
+from repro.engine.scheduler import CampaignEngine, EngineConfig, EngineReport
+from repro.engine.store import (
+    EXPERIMENT,
+    HEADER,
+    QUARANTINE,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreFormatError,
+    StoreSchemaError,
+    experiment_key,
+    merge_stores,
+    read_records,
+    store_to_campaign,
+)
+from repro.engine.telemetry import ProgressSnapshot, ProgressTracker, WorkerHealth
+from repro.engine.worker import WorkUnit
+
+__all__ = [
+    "EXPERIMENT",
+    "HEADER",
+    "QUARANTINE",
+    "STORE_SCHEMA_VERSION",
+    "CampaignEngine",
+    "EngineConfig",
+    "EngineReport",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "ResultStore",
+    "StoreFormatError",
+    "StoreSchemaError",
+    "WorkUnit",
+    "WorkerHealth",
+    "experiment_key",
+    "merge_stores",
+    "read_records",
+    "store_to_campaign",
+]

@@ -1,0 +1,369 @@
+"""Campaign-execution engine: parallel dispatch, retry, and resume.
+
+The engine turns a list of :class:`~repro.engine.worker.WorkUnit` into a
+key -> result mapping, fanning the units out over a pool of forked
+worker processes (or running them in-process for ``parallel <= 1``).
+It owns the robustness policy a multi-day campaign needs:
+
+* **resume** — units whose key is already in the result store are not
+  re-executed; their stored payloads are folded into the report;
+* **timeout** — an experiment past its deadline gets its worker killed
+  and is retried (parallel mode; in-process execution cannot preempt);
+* **retry with backoff** — failed/timed-out/crashed units are requeued
+  with exponential backoff up to ``max_retries`` extra attempts;
+* **quarantine** — units that exhaust their retries are recorded in the
+  store and skipped by future resumes, so one pathological fault cannot
+  sink the campaign;
+* **telemetry** — progress snapshots (throughput, breakdown, ETA,
+  per-worker health) are published through ``on_progress``.
+
+Determinism: units are fully seeded descriptors, so the result of each
+unit is independent of scheduling — the same units yield the same
+result set at any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine import worker as worker_proto
+from repro.engine.store import ResultStore
+from repro.engine.telemetry import ProgressSnapshot, ProgressTracker
+from repro.engine.worker import WorkUnit, worker_main
+
+
+@dataclass
+class EngineConfig:
+    """Execution policy for one engine run."""
+
+    #: Worker processes; <= 1 executes in-process (serial).
+    parallel: int = 1
+    #: Per-experiment deadline in seconds (parallel mode only).
+    timeout: float | None = None
+    #: Extra attempts after the first failure before quarantining.
+    max_retries: int = 2
+    #: Base of the exponential retry backoff, in seconds.
+    retry_backoff: float = 0.1
+    #: Parent poll interval while waiting on workers, in seconds.
+    poll_interval: float = 0.05
+    #: How the result payload maps to an outcome label for telemetry.
+    outcome_field: str = "outcome"
+
+
+@dataclass
+class EngineReport:
+    """Everything a front-end needs after :meth:`CampaignEngine.run`."""
+
+    #: key -> result payload, including results resumed from the store.
+    results: dict[str, dict] = field(default_factory=dict)
+    #: Units executed this session.
+    executed: int = 0
+    #: Units skipped because the store already held them.
+    skipped: int = 0
+    #: key -> error string for units that exhausted their retries.
+    quarantined: dict[str, str] = field(default_factory=dict)
+    #: Total retry attempts this session.
+    retries: int = 0
+    elapsed: float = 0.0
+    snapshot: ProgressSnapshot | None = None
+
+
+@dataclass
+class _Task:
+    unit: WorkUnit
+    attempts: int = 0
+    not_before: float = 0.0
+    last_error: str = ""
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    def __init__(self, worker_id: int, ctx, runner_factory, result_queue):
+        self.id = worker_id
+        self.queue = ctx.Queue()
+        self.ready = False
+        self.task: _Task | None = None
+        self.deadline: float | None = None
+        self.process = ctx.Process(
+            target=worker_main,
+            args=(worker_id, runner_factory, self.queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and self.task is None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+
+
+class CampaignEngine:
+    """Executes work units through a runner, robustly and resumably.
+
+    ``runner_factory`` is a zero-argument callable returning
+    ``runner(payload) -> result-payload``; it is invoked once per worker
+    (in the worker, after fork) or once in-process for serial runs.
+    ``store``, when given, receives every result as it completes and
+    seeds the resume set.
+    """
+
+    def __init__(self, runner_factory, config: EngineConfig | None = None,
+                 store: ResultStore | None = None, on_progress=None):
+        self.runner_factory = runner_factory
+        self.config = config or EngineConfig()
+        self.store = store
+        self.on_progress = on_progress
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, units: list[WorkUnit]) -> EngineReport:
+        start = time.monotonic()
+        report = EngineReport()
+        pending: deque[_Task] = deque()
+        for unit in units:
+            if self.store is not None and unit.key in self.store:
+                if unit.key in self.store.completed:
+                    report.results[unit.key] = self.store.completed[unit.key]
+                else:
+                    report.quarantined[unit.key] = \
+                        self.store.quarantined[unit.key]
+                report.skipped += 1
+            else:
+                pending.append(_Task(unit))
+
+        tracker = ProgressTracker(total=len(units), skipped=report.skipped)
+        field_name = self.config.outcome_field
+        tracker.preload_breakdown([
+            payload[field_name] for payload in report.results.values()
+            if isinstance(payload, dict) and field_name in payload
+        ])
+
+        try:
+            if self.config.parallel <= 1:
+                self._run_serial(pending, report, tracker)
+            else:
+                self._run_parallel(pending, report, tracker)
+        finally:
+            report.elapsed = time.monotonic() - start
+            report.snapshot = tracker.snapshot()
+        return report
+
+    # ------------------------------------------------------------------
+    # Shared completion/failure paths
+    # ------------------------------------------------------------------
+    def _outcome(self, payload) -> str | None:
+        if isinstance(payload, dict):
+            return payload.get(self.config.outcome_field)
+        return None
+
+    def _complete(self, task: _Task, payload: dict, report: EngineReport,
+                  tracker: ProgressTracker, worker_id: int) -> None:
+        report.results[task.unit.key] = payload
+        report.executed += 1
+        if self.store is not None:
+            self.store.append(task.unit.key, payload)
+        tracker.task_done(worker_id, self._outcome(payload))
+        self._publish(tracker)
+
+    def _fail(self, task: _Task, error: str, pending: deque[_Task],
+              report: EngineReport, tracker: ProgressTracker,
+              worker_id: int) -> None:
+        task.attempts += 1
+        task.last_error = error
+        retry = task.attempts <= self.config.max_retries
+        tracker.task_failed(worker_id, retried=retry)
+        if retry:
+            report.retries += 1
+            task.not_before = time.monotonic() + (
+                self.config.retry_backoff * (2 ** (task.attempts - 1)))
+            pending.append(task)
+        else:
+            report.quarantined[task.unit.key] = error
+            if self.store is not None:
+                self.store.quarantine(task.unit.key, error, task.unit.payload)
+        self._publish(tracker)
+
+    def _publish(self, tracker: ProgressTracker) -> None:
+        if self.on_progress is not None:
+            self.on_progress(tracker.snapshot())
+
+    # ------------------------------------------------------------------
+    # Serial execution (parallel <= 1)
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending: deque[_Task], report: EngineReport,
+                    tracker: ProgressTracker) -> None:
+        """In-process execution.  Deadlines are not enforced (a wedged
+        experiment cannot be preempted without a worker process), but
+        retry/quarantine/resume semantics match the parallel path."""
+        runner = self.runner_factory()
+        while pending:
+            task = pending.popleft()
+            wait = task.not_before - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+            tracker.task_started(0, task.unit.key)
+            try:
+                payload = runner(task.unit.payload)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - retry policy owns this
+                self._fail(task, f"{type(exc).__name__}: {exc}", pending,
+                           report, tracker, worker_id=0)
+                continue
+            self._complete(task, payload, report, tracker, worker_id=0)
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+    def _make_context(self):
+        methods = mp.get_all_start_methods()
+        if "fork" not in methods:
+            raise RuntimeError(
+                "the parallel engine requires the 'fork' start method so "
+                "workers can inherit the prepared campaign; this platform "
+                f"offers only {methods} — run with parallel=1")
+        return mp.get_context("fork")
+
+    def _run_parallel(self, pending: deque[_Task], report: EngineReport,
+                      tracker: ProgressTracker) -> None:
+        ctx = self._make_context()
+        result_queue = ctx.Queue()
+        num_workers = max(1, min(self.config.parallel, len(pending)))
+        workers: dict[int, _WorkerHandle] = {}
+        next_worker_id = 0
+
+        def spawn() -> None:
+            nonlocal next_worker_id
+            handle = _WorkerHandle(next_worker_id, ctx, self.runner_factory,
+                                   result_queue)
+            workers[handle.id] = handle
+            next_worker_id += 1
+
+        def respawn(handle: _WorkerHandle) -> None:
+            handle.kill()
+            del workers[handle.id]
+            tracker.worker_restarted(handle.id)
+            if pending or any(w.task is not None for w in workers.values()):
+                spawn()
+
+        for _ in range(num_workers):
+            spawn()
+
+        try:
+            while pending or any(w.task is not None for w in workers.values()):
+                now = time.monotonic()
+                # Dispatch to idle workers (skip tasks still in backoff).
+                for handle in list(workers.values()):
+                    if not handle.idle or not pending:
+                        continue
+                    task = self._next_due(pending, now)
+                    if task is None:
+                        break
+                    handle.task = task
+                    handle.deadline = (
+                        now + self.config.timeout
+                        if self.config.timeout is not None else None)
+                    tracker.task_started(handle.id, task.unit.key)
+                    handle.queue.put((task.unit.key, task.unit.payload))
+
+                self._drain_results(result_queue, workers, pending, report,
+                                    tracker)
+                self._check_deadlines_and_liveness(workers, pending, report,
+                                                   tracker, respawn)
+
+                if not workers and pending:
+                    raise RuntimeError(
+                        "all engine workers died during startup; last "
+                        f"pending unit: {pending[0].unit.key}")
+        finally:
+            for handle in workers.values():
+                if handle.process.is_alive():
+                    try:
+                        handle.queue.put(None)
+                    except (ValueError, OSError):
+                        pass
+            for handle in workers.values():
+                handle.process.join(timeout=2.0)
+                if handle.process.is_alive():
+                    handle.kill()
+            result_queue.close()
+
+    @staticmethod
+    def _next_due(pending: deque[_Task], now: float) -> _Task | None:
+        """Pop the first task whose backoff window has passed."""
+        for _ in range(len(pending)):
+            task = pending.popleft()
+            if task.not_before <= now:
+                return task
+            pending.append(task)
+        return None
+
+    def _drain_results(self, result_queue, workers, pending, report,
+                       tracker) -> None:
+        block = True
+        while True:
+            try:
+                if block:
+                    message = result_queue.get(
+                        timeout=self.config.poll_interval)
+                    block = False
+                else:
+                    message = result_queue.get_nowait()
+            except Exception:  # noqa: BLE001 - queue.Empty from any context
+                return
+            tag, worker_id, body = message
+            handle = workers.get(worker_id)
+            if handle is None:
+                continue  # message from a worker we already killed
+            if tag == worker_proto.READY:
+                handle.ready = True
+            elif tag == worker_proto.INIT_ERROR:
+                handle.kill()
+                del workers[worker_id]
+                if not workers and pending:
+                    raise RuntimeError(
+                        f"engine worker failed to initialize: {body}")
+            elif tag in (worker_proto.DONE, worker_proto.ERROR):
+                task = handle.task
+                handle.task = None
+                handle.deadline = None
+                if task is None:
+                    continue  # late message for a task already resolved
+                key, payload = body
+                if key != task.unit.key:
+                    continue
+                if tag == worker_proto.DONE:
+                    self._complete(task, payload, report, tracker, worker_id)
+                else:
+                    self._fail(task, payload, pending, report, tracker,
+                               worker_id)
+
+    def _check_deadlines_and_liveness(self, workers, pending, report,
+                                      tracker, respawn) -> None:
+        now = time.monotonic()
+        for handle in list(workers.values()):
+            task = handle.task
+            if task is not None and handle.deadline is not None \
+                    and now > handle.deadline:
+                handle.task = None
+                self._fail(task, f"timeout after {self.config.timeout:.1f}s",
+                           pending, report, tracker, handle.id)
+                respawn(handle)
+            elif not handle.process.is_alive():
+                handle.task = None
+                if task is not None:
+                    self._fail(
+                        task,
+                        f"worker crashed (exit code "
+                        f"{handle.process.exitcode})",
+                        pending, report, tracker, handle.id)
+                respawn(handle)

@@ -1,0 +1,239 @@
+"""Persistent, append-only result store for campaign execution.
+
+The paper's characterization rests on >2.9M fault-injection experiments
+(Sec. 3.3); at that scale a campaign cannot hold results in memory or
+restart from scratch after a crash.  The store is a JSONL file:
+
+* line 1 is a **header** record carrying the schema version and campaign
+  metadata (workload, kind, configuration);
+* every subsequent line is one **experiment** record (a stable
+  experiment key plus the serialized result payload) or one
+  **quarantine** record (an experiment that repeatedly crashed or timed
+  out, kept so a resume does not retry it forever).
+
+Records are flushed per line, so a killed run loses at most the line
+being written; a truncated trailing line is detected and ignored on
+resume.  Keys are content hashes of ``(index, fault descriptor)``, which
+makes stores idempotent under resume and mergeable across machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+#: Current on-disk schema version.  Bump on any incompatible change to
+#: the record layout; readers reject versions they do not understand.
+STORE_SCHEMA_VERSION = 1
+
+#: Record type tags.
+HEADER = "header"
+EXPERIMENT = "experiment"
+QUARANTINE = "quarantine"
+
+
+class StoreSchemaError(ValueError):
+    """Raised for stores written with an unknown or missing schema."""
+
+
+class StoreFormatError(ValueError):
+    """Raised for structurally invalid store files (not schema drift)."""
+
+
+def experiment_key(index: int, payload: dict) -> str:
+    """Stable content key for one experiment: ``index`` x descriptor.
+
+    The index disambiguates the (astronomically unlikely but possible)
+    case of the same fault being sampled twice in one campaign, so a
+    resumed run re-executes exactly the missing experiments.
+    """
+    canon = json.dumps({"index": int(index), "desc": payload},
+                       sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(canon.encode()).hexdigest()[:16]
+
+
+def _check_schema(header: dict, path: Path) -> None:
+    if header.get("record") != HEADER:
+        raise StoreFormatError(
+            f"{path}: first record is not a store header "
+            f"(got {header.get('record')!r})")
+    schema = header.get("schema")
+    if schema != STORE_SCHEMA_VERSION:
+        raise StoreSchemaError(
+            f"{path}: store schema version {schema!r} is not supported "
+            f"(this build reads version {STORE_SCHEMA_VERSION}); "
+            f"re-run the campaign or convert the store")
+
+
+class ResultStore:
+    """Append-only JSONL result store with resume support.
+
+    Open with ``resume=False`` (the default) to create a fresh store —
+    refusing to clobber an existing non-empty one — or ``resume=True``
+    to load completed/quarantined keys from an existing file and append
+    to it.
+    """
+
+    def __init__(self, path: str | Path, kind: str = "campaign",
+                 meta: dict | None = None, resume: bool = False):
+        self.path = Path(path)
+        self.kind = kind
+        self.meta = dict(meta or {})
+        #: key -> result payload for completed experiments.
+        self.completed: dict[str, dict] = {}
+        #: key -> error string for quarantined experiments.
+        self.quarantined: dict[str, str] = {}
+        #: key -> fault payload for quarantined experiments (may be None).
+        self.quarantine_payloads: dict[str, dict | None] = {}
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing:
+            if not resume:
+                raise FileExistsError(
+                    f"{self.path} already holds campaign results; pass "
+                    f"resume=True (CLI: --resume) to continue it, or "
+                    f"choose a new store path")
+            self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write({"record": HEADER, "schema": STORE_SCHEMA_VERSION,
+                         "kind": self.kind, "meta": self.meta})
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        records = read_records(self.path)
+        header = records[0]
+        self.kind = header.get("kind", self.kind)
+        self.meta = header.get("meta", {}) or self.meta
+        for record in records[1:]:
+            if record["record"] == EXPERIMENT:
+                self.completed[record["key"]] = record["payload"]
+            elif record["record"] == QUARANTINE:
+                self.quarantined[record["key"]] = record.get("error", "")
+                self.quarantine_payloads[record["key"]] = record.get("payload")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, key: str, payload: dict) -> None:
+        """Persist one completed experiment (idempotent per key)."""
+        if key in self.completed:
+            return
+        self._write({"record": EXPERIMENT, "key": key, "payload": payload})
+        self.completed[key] = payload
+
+    def quarantine(self, key: str, error: str,
+                   payload: dict | None = None) -> None:
+        """Persist a pathological experiment so resumes skip it."""
+        if key in self.quarantined:
+            return
+        self._write({"record": QUARANTINE, "key": key, "error": error,
+                     "payload": payload})
+        self.quarantined[key] = error
+        self.quarantine_payloads[key] = payload
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed or key in self.quarantined
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Parse a store file, validating the header schema.
+
+    A truncated final line (a run killed mid-write) is silently
+    dropped; a malformed line anywhere else is a hard error.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise StoreFormatError(f"{path}: empty store file")
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # partial trailing write from a killed run
+            raise StoreFormatError(
+                f"{path}:{lineno}: corrupt store record") from None
+    if not records:
+        raise StoreFormatError(f"{path}: no parseable records")
+    _check_schema(records[0], path)
+    return records
+
+
+def merge_stores(sources: list[str | Path], dest: str | Path) -> ResultStore:
+    """Merge partial stores (e.g. shards from several machines) into one.
+
+    Records are deduplicated by experiment key; an experiment completed
+    in any shard wins over a quarantine record for the same key.  All
+    shards must agree on ``kind``.
+    """
+    if not sources:
+        raise ValueError("nothing to merge")
+    loaded = []
+    for source in sources:
+        records = read_records(source)
+        loaded.append((Path(source), records))
+    kinds = {records[0].get("kind") for _, records in loaded}
+    if len(kinds) != 1:
+        raise ValueError(f"cannot merge stores of different kinds: {sorted(kinds)}")
+    merged = ResultStore(dest, kind=kinds.pop(),
+                         meta=loaded[0][1][0].get("meta") or {})
+    quarantines: dict[str, dict] = {}
+    for _, records in loaded:
+        for record in records[1:]:
+            if record["record"] == EXPERIMENT:
+                merged.append(record["key"], record["payload"])
+            elif record["record"] == QUARANTINE:
+                quarantines[record["key"]] = record
+    for key, record in quarantines.items():
+        if key not in merged.completed:
+            merged.quarantine(key, record.get("error", ""), record.get("payload"))
+    return merged
+
+
+def store_to_campaign(path: str | Path):
+    """Reconstruct a :class:`CampaignResult` from a campaign-kind store."""
+    from repro.core.faults.campaign import CampaignResult
+    from repro.core.faults.serialization import experiment_from_dict
+
+    records = read_records(path)
+    header = records[0]
+    if header.get("kind") != "campaign":
+        raise StoreFormatError(
+            f"{path}: store kind {header.get('kind')!r} is not a campaign "
+            f"store")
+    experiments = [r for r in records[1:] if r["record"] == EXPERIMENT]
+    experiments.sort(key=lambda r: r["payload"].get("index", 0))
+    return CampaignResult(
+        workload=header.get("meta", {}).get("workload", "unknown"),
+        results=[experiment_from_dict(r["payload"]) for r in experiments],
+    )

@@ -1,0 +1,160 @@
+"""Progress and health telemetry for campaign execution.
+
+A paper-scale campaign runs for days; the operator needs a live view of
+throughput (experiments/sec), the outcome breakdown so far, an ETA, and
+per-worker health (a wedged or crash-looping worker shows up here long
+before the run finishes).  The tracker is pure bookkeeping — the engine
+feeds it events and periodically publishes a :class:`ProgressSnapshot`
+through the caller's ``on_progress`` callback.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkerHealth:
+    """Per-worker counters, keyed by worker id in the snapshot."""
+
+    completed: int = 0
+    failures: int = 0
+    restarts: int = 0
+    #: Key of the experiment currently executing (None when idle).
+    busy_key: str | None = None
+    #: Monotonic time the current experiment started (None when idle).
+    busy_since: float | None = None
+
+    def busy_elapsed(self, now: float) -> float:
+        return 0.0 if self.busy_since is None else now - self.busy_since
+
+
+@dataclass
+class ProgressSnapshot:
+    """One observation of campaign progress."""
+
+    total: int
+    done: int
+    skipped: int
+    quarantined: int
+    retries: int
+    elapsed: float
+    #: Completed experiments per second this session (excludes skipped).
+    throughput: float
+    #: Estimated seconds to completion (None before the first completion).
+    eta: float | None
+    #: Outcome label -> count over everything completed so far.
+    breakdown: dict[str, int]
+    workers: dict[int, WorkerHealth] = field(default_factory=dict)
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.done - self.quarantined, 0)
+
+    def render(self) -> str:
+        """One status line, suitable for streaming to a terminal."""
+        parts = [f"{self.done}/{self.total} done"]
+        if self.skipped:
+            parts.append(f"{self.skipped} resumed")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        parts.append(f"{self.throughput:.2f} exp/s")
+        if self.eta is not None:
+            parts.append(f"eta {self.eta:.0f}s")
+        if self.breakdown:
+            top = sorted(self.breakdown.items(), key=lambda kv: -kv[1])[:3]
+            parts.append(" ".join(f"{k}:{v}" for k, v in top))
+        if self.workers:
+            alive = len(self.workers)
+            restarts = sum(w.restarts for w in self.workers.values())
+            busy = sum(w.busy_key is not None for w in self.workers.values())
+            detail = f"workers {busy}/{alive} busy"
+            if restarts:
+                detail += f", {restarts} restarts"
+            parts.append(detail)
+        return "[engine] " + " | ".join(parts)
+
+
+class ProgressTracker:
+    """Accumulates engine events into :class:`ProgressSnapshot` values.
+
+    ``done`` counts completed experiments including ones resumed from the
+    store (so the fraction reflects campaign completion); throughput and
+    ETA are computed from this session's completions only.
+    """
+
+    def __init__(self, total: int, skipped: int = 0,
+                 clock=time.monotonic):
+        self.total = int(total)
+        self.skipped = int(skipped)
+        self._clock = clock
+        self._start = clock()
+        self.session_done = 0
+        self.quarantined = 0
+        self.retries = 0
+        self.breakdown: Counter[str] = Counter()
+        self.workers: dict[int, WorkerHealth] = {}
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _worker(self, worker_id: int) -> WorkerHealth:
+        return self.workers.setdefault(worker_id, WorkerHealth())
+
+    def task_started(self, worker_id: int, key: str) -> None:
+        health = self._worker(worker_id)
+        health.busy_key = key
+        health.busy_since = self._clock()
+
+    def task_done(self, worker_id: int, outcome: str | None) -> None:
+        health = self._worker(worker_id)
+        health.completed += 1
+        health.busy_key = None
+        health.busy_since = None
+        self.session_done += 1
+        if outcome is not None:
+            self.breakdown[outcome] += 1
+
+    def task_failed(self, worker_id: int, retried: bool) -> None:
+        health = self._worker(worker_id)
+        health.failures += 1
+        health.busy_key = None
+        health.busy_since = None
+        if retried:
+            self.retries += 1
+        else:
+            self.quarantined += 1
+
+    def worker_restarted(self, worker_id: int) -> None:
+        self._worker(worker_id).restarts += 1
+
+    def preload_breakdown(self, outcomes: list[str]) -> None:
+        """Fold outcomes resumed from the store into the breakdown."""
+        self.breakdown.update(outcomes)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ProgressSnapshot:
+        elapsed = self._clock() - self._start
+        throughput = self.session_done / elapsed if elapsed > 0 else 0.0
+        done = self.skipped + self.session_done
+        remaining = max(self.total - done - self.quarantined, 0)
+        eta = remaining / throughput if throughput > 0 else None
+        return ProgressSnapshot(
+            total=self.total,
+            done=done,
+            skipped=self.skipped,
+            quarantined=self.quarantined,
+            retries=self.retries,
+            elapsed=elapsed,
+            throughput=throughput,
+            eta=eta,
+            breakdown=dict(self.breakdown),
+            workers={wid: WorkerHealth(**vars(w))
+                     for wid, w in self.workers.items()},
+        )

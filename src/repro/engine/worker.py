@@ -1,0 +1,53 @@
+"""Worker-process side of the campaign engine.
+
+Each worker builds its runner once (for campaigns this trains/restores
+the fault-free baseline — the expensive part), then executes work units
+from its private task queue until it receives the ``None`` sentinel.
+The parent dispatches one unit at a time, which is what makes
+per-experiment deadlines and crash attribution possible: a busy worker
+maps to exactly one in-flight experiment.
+
+Workers are forked, so the runner factory may close over live objects
+(e.g. an already-prepared :class:`~repro.core.faults.campaign.Campaign`
+whose baseline snapshot is then inherited copy-on-write instead of
+being retrained per worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Message tags on the worker -> parent result queue.
+READY = "ready"
+DONE = "done"
+ERROR = "error"
+INIT_ERROR = "init_error"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One experiment to execute: a stable key plus a JSON-safe payload."""
+
+    key: str
+    payload: dict
+
+
+def worker_main(worker_id: int, runner_factory, task_queue, result_queue) -> None:
+    """Worker process entry point (see module docstring)."""
+    try:
+        runner = runner_factory()
+    except BaseException as exc:  # noqa: BLE001 - report, never hang the parent
+        result_queue.put((INIT_ERROR, worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    result_queue.put((READY, worker_id, None))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        key, payload = task
+        try:
+            result = runner(payload)
+            result_queue.put((DONE, worker_id, (key, result)))
+        except BaseException as exc:  # noqa: BLE001 - one bad unit must not kill the pool
+            result_queue.put((ERROR, worker_id,
+                              (key, f"{type(exc).__name__}: {exc}")))

@@ -7,7 +7,6 @@ import numpy as np
 
 from repro import nn
 from repro.data.maze import make_maze_dataset
-from repro.data.synthetic import Dataset
 from repro.data.translation import make_translation_dataset
 from repro.nn.losses import SoftmaxCrossEntropy, SequenceCrossEntropy, accuracy, sequence_accuracy
 from repro.optim import Adam

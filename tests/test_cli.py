@@ -28,6 +28,17 @@ class TestParser:
         assert args.group == 1
         assert args.site == "2.conv1"
 
+    def test_campaign_engine_args(self):
+        args = build_parser().parse_args([
+            "campaign", "resnet", "--parallel", "4", "--store", "r.jsonl",
+            "--resume", "--timeout", "30", "--progress-every", "10",
+        ])
+        assert args.parallel == 4
+        assert args.store == "r.jsonl"
+        assert args.resume is True
+        assert args.timeout == 30.0
+        assert args.progress_every == 10
+
 
 class TestCommands:
     def test_train(self, capsys):
@@ -72,3 +83,56 @@ class TestCommands:
                    "--iterations", "10", "--devices", "2"])
         assert rc == 0
         assert "outcome:" in capsys.readouterr().out
+
+    def test_resume_requires_store(self, capsys):
+        rc = main(["campaign", "resnet", "--experiments", "1", "--resume"])
+        assert rc == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+
+class TestEngineCommands:
+    def test_campaign_store_report_merge(self, capsys, tmp_path):
+        """Parallel campaign into a store, then report and merge it."""
+        store = tmp_path / "r.jsonl"
+        rc = main(["campaign", "resnet", "--experiments", "2", "--devices",
+                   "2", "--parallel", "2", "--store", str(store),
+                   "--progress-every", "1"])
+        out, err = capsys.readouterr()
+        assert rc == 0
+        assert "engine: 2 executed, 0 resumed" in out
+        assert "[engine]" in err
+
+        rc = main(["report", str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kind campaign, schema 1, 2 experiments" in out
+        assert "# campaign: resnet (2 experiments)" in out
+
+        rc = main(["merge", str(tmp_path / "m.jsonl"), str(store), str(store)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 experiments, 0 quarantined" in out
+
+    def test_store_clobber_without_resume_is_clean_error(self, capsys,
+                                                         tmp_path):
+        store = tmp_path / "r.jsonl"
+        argv = ["campaign", "resnet", "--experiments", "1", "--devices", "2",
+                "--store", str(store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--resume" in err
+
+    def test_report_missing_store_is_clean_error(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_resume_skips_finished(self, capsys, tmp_path):
+        store = tmp_path / "r.jsonl"
+        argv = ["campaign", "resnet", "--experiments", "2", "--devices", "2",
+                "--store", str(store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "engine: 0 executed, 2 resumed" in capsys.readouterr().out

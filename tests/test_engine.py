@@ -1,0 +1,224 @@
+"""Tests for the parallel campaign-execution engine (repro.engine)."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.faults import Campaign
+from repro.engine import (
+    CampaignEngine,
+    EngineConfig,
+    ResultStore,
+    WorkUnit,
+    read_records,
+    store_to_campaign,
+)
+from repro.workloads import build_workload
+
+
+# ----------------------------------------------------------------------
+# Toy runner: behaviour is driven entirely by the unit payload, so the
+# scheduler's robustness policy can be exercised without training.
+# ----------------------------------------------------------------------
+def _toy_factory():
+    def run(payload):
+        if payload.get("marker"):
+            with open(payload["marker"], "a") as fh:
+                fh.write(payload["key"] + "\n")
+        if payload.get("sleep"):
+            time.sleep(payload["sleep"])
+        if payload.get("crash"):
+            os._exit(3)
+        if payload.get("fail"):
+            raise RuntimeError("deliberate failure")
+        if payload.get("flaky"):
+            flag = Path(payload["flaky"])
+            if not flag.exists():
+                flag.write_text("attempted")
+                raise RuntimeError("flaky first attempt")
+        return {"value": payload["x"] * 2, "outcome": "ok"}
+
+    return run
+
+
+def _units(payloads):
+    return [WorkUnit(key=f"key{i}", payload={"key": f"key{i}", "x": i, **p})
+            for i, p in enumerate(payloads)]
+
+
+class TestToyEngine:
+    def test_serial_matches_parallel(self):
+        units = _units([{} for _ in range(6)])
+        serial = CampaignEngine(_toy_factory, EngineConfig(parallel=1)).run(units)
+        parallel = CampaignEngine(_toy_factory, EngineConfig(parallel=2)).run(units)
+        assert serial.results == parallel.results
+        assert parallel.executed == 6
+        assert parallel.snapshot.done == 6
+        assert parallel.snapshot.breakdown == {"ok": 6}
+
+    def test_retry_recovers_flaky_unit(self, tmp_path):
+        units = _units([{}, {"flaky": str(tmp_path / "flag")}])
+        report = CampaignEngine(
+            _toy_factory, EngineConfig(parallel=1, retry_backoff=0.01),
+        ).run(units)
+        assert report.retries == 1
+        assert report.quarantined == {}
+        assert sorted(report.results) == ["key0", "key1"]
+
+    def test_quarantine_after_retries(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl", kind="toy")
+        units = _units([{}, {"fail": True}, {}])
+        report = CampaignEngine(
+            _toy_factory,
+            EngineConfig(parallel=1, max_retries=1, retry_backoff=0.01),
+            store=store,
+        ).run(units)
+        store.close()
+        assert sorted(report.results) == ["key0", "key2"]
+        assert list(report.quarantined) == ["key1"]
+        assert "deliberate failure" in report.quarantined["key1"]
+        assert report.retries == 1  # one retry, then quarantine
+        # The quarantine is persisted, so a resume skips it entirely.
+        resumed_store = ResultStore(tmp_path / "s.jsonl", resume=True)
+        resumed = CampaignEngine(
+            _toy_factory, EngineConfig(parallel=1), store=resumed_store,
+        ).run(units)
+        resumed_store.close()
+        assert resumed.executed == 0
+        assert resumed.skipped == 3
+        assert list(resumed.quarantined) == ["key1"]
+
+    def test_parallel_timeout_quarantines_hung_unit(self):
+        units = _units([{}, {"sleep": 60}, {}])
+        report = CampaignEngine(
+            _toy_factory,
+            EngineConfig(parallel=2, timeout=1.0, max_retries=0,
+                         poll_interval=0.02),
+        ).run(units)
+        assert sorted(report.results) == ["key0", "key2"]
+        assert "timeout" in report.quarantined["key1"]
+
+    def test_parallel_worker_crash_quarantined(self):
+        units = _units([{}, {"crash": True}, {}])
+        report = CampaignEngine(
+            _toy_factory,
+            EngineConfig(parallel=2, max_retries=0, poll_interval=0.02),
+        ).run(units)
+        assert sorted(report.results) == ["key0", "key2"]
+        assert "crashed" in report.quarantined["key1"]
+        restarts = sum(w.restarts for w in report.snapshot.workers.values())
+        assert restarts >= 1
+
+    def test_interrupt_then_resume_executes_each_unit_once(self, tmp_path):
+        marker = tmp_path / "executed.log"
+        units = _units([{"marker": str(marker)} for _ in range(6)])
+
+        def interrupt_after_three(snapshot):
+            if snapshot.done >= 3:
+                raise KeyboardInterrupt
+
+        store = ResultStore(tmp_path / "s.jsonl", kind="toy")
+        with pytest.raises(KeyboardInterrupt):
+            CampaignEngine(_toy_factory, EngineConfig(parallel=1),
+                           store=store,
+                           on_progress=interrupt_after_three).run(units)
+        store.close()
+        assert len(ResultStore(tmp_path / "s.jsonl", resume=True).completed) == 3
+
+        store = ResultStore(tmp_path / "s.jsonl", resume=True)
+        report = CampaignEngine(_toy_factory, EngineConfig(parallel=1),
+                                store=store).run(units)
+        store.close()
+        assert report.executed == 3
+        assert report.skipped == 3
+        assert sorted(report.results) == [u.key for u in units]
+        executed = marker.read_text().split()
+        assert sorted(executed) == sorted(set(executed)) == \
+            [u.key for u in units]
+
+
+# ----------------------------------------------------------------------
+# Integration with real campaigns
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def engine_campaign():
+    spec = build_workload("resnet", size="tiny", seed=0)
+    campaign = Campaign(spec, num_devices=2, seed=0, warmup_iterations=6,
+                        horizon=10, inject_window=4, test_every=5)
+    campaign.prepare()
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def serial_result(engine_campaign):
+    return engine_campaign.run(5, seed=11)
+
+
+class TestCampaignThroughEngine:
+    def test_parallel_breakdown_matches_serial(self, engine_campaign,
+                                               serial_result, tmp_path):
+        parallel = engine_campaign.run(
+            5, seed=11, parallel=2, store=tmp_path / "s.jsonl")
+        assert parallel.breakdown() == serial_result.breakdown()
+        assert parallel.engine_report.executed == 5
+        keys = [r["key"] for r in read_records(tmp_path / "s.jsonl")[1:]]
+        assert len(keys) == len(set(keys)) == 5
+
+    def test_kill_and_resume_no_duplicates(self, engine_campaign,
+                                           serial_result, tmp_path):
+        """Kill the run mid-campaign, restart with --resume semantics:
+        no experiment key is executed twice and the aggregate breakdown
+        matches a straight serial run with the same seeds."""
+        path = tmp_path / "s.jsonl"
+
+        def killer(snapshot):
+            if snapshot.done >= 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            engine_campaign.run(5, seed=11, store=path, on_progress=killer)
+        partial = [r["key"] for r in read_records(path)[1:]]
+        assert len(partial) == 2
+
+        resumed = engine_campaign.run(5, seed=11, store=path, resume=True)
+        assert resumed.engine_report.skipped == 2
+        assert resumed.engine_report.executed == 3
+        keys = [r["key"] for r in read_records(path)[1:]]
+        assert len(keys) == len(set(keys)) == 5
+        assert resumed.breakdown() == serial_result.breakdown()
+
+    def test_store_merge_matches_serial(self, engine_campaign,
+                                        serial_result, tmp_path):
+        """Two half-campaign shards merge into the full campaign."""
+        from repro.engine import merge_stores
+
+        faults = engine_campaign.sample_faults(5, seed=11)
+        units = engine_campaign._work_units(faults)
+        for name, chunk in (("a", units[:2]), ("b", units[2:])):
+            store = ResultStore(tmp_path / f"{name}.jsonl", kind="campaign",
+                                meta={"workload": "resnet"})
+            CampaignEngine(engine_campaign._engine_runner,
+                           EngineConfig(parallel=1), store=store).run(chunk)
+            store.close()
+        merge_stores([tmp_path / "a.jsonl", tmp_path / "b.jsonl"],
+                     tmp_path / "m.jsonl").close()
+        merged = store_to_campaign(tmp_path / "m.jsonl")
+        assert merged.breakdown() == serial_result.breakdown()
+
+    def test_sweep_parallel_matches_serial(self, engine_campaign):
+        from repro.core.faults import SweepAxis, run_sweep
+
+        axes = [SweepAxis("group", [1, 2]), SweepAxis("iteration", [7, 9])]
+        serial = run_sweep(engine_campaign, axes)
+        parallel = run_sweep(engine_campaign, axes, parallel=2)
+        assert {k: v.outcome for k, v in serial.cells.items()} == \
+            {k: v.outcome for k, v in parallel.cells.items()}
+
+    def test_keep_records_rejects_engine_options(self):
+        spec = build_workload("resnet", size="tiny", seed=0)
+        campaign = Campaign(spec, num_devices=2, seed=0, warmup_iterations=4,
+                            horizon=6, keep_records=True)
+        with pytest.raises(ValueError, match="keep_records"):
+            campaign.run(1, parallel=2)

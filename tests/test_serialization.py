@@ -81,3 +81,31 @@ class TestCampaignRoundTrip:
             merge_campaigns([small_result, other])
         with pytest.raises(ValueError):
             merge_campaigns([])
+
+
+class TestSchemaVersion:
+    def test_written_documents_carry_version(self, small_result):
+        from repro.core.faults.serialization import CAMPAIGN_SCHEMA_VERSION
+
+        assert campaign_to_dict(small_result)["schema"] == \
+            CAMPAIGN_SCHEMA_VERSION
+
+    def test_unknown_version_rejected(self, small_result):
+        data = campaign_to_dict(small_result)
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema version 99"):
+            campaign_from_dict(data)
+
+    def test_legacy_unversioned_documents_accepted(self, small_result):
+        data = campaign_to_dict(small_result)
+        del data["schema"]
+        assert campaign_from_dict(data).num_experiments == \
+            small_result.num_experiments
+
+    def test_foreign_number_strings_rejected(self, small_result):
+        """Strings the writer never emits (e.g. "NaN" from another tool)
+        must raise instead of being silently coerced by float()."""
+        data = campaign_to_dict(small_result)
+        data["results"][0]["max_abs_faulty"] = "NaN"
+        with pytest.raises(ValueError, match="unrecognized serialized number"):
+            campaign_from_dict(data)
