@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from _report import emit, header, table
-from repro.accelerator.dataflow import DataflowMap
 from repro.accelerator.ffs import FFDescriptor
 from repro.core.faults.software_models import Group1RandomOutputs
 from repro.distributed import SyncDataParallelTrainer

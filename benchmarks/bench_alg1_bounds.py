@@ -10,8 +10,6 @@ detector zero false positives and full condition coverage.
 
 from __future__ import annotations
 
-import numpy as np
-
 from _report import emit, header, paper_vs_measured, table
 from conftest import NUM_DEVICES
 from repro.core.mitigation import derive_bounds_for_trainer

@@ -69,7 +69,7 @@ def bench_checkpoint_corruption(benchmark):
 
     header("Sec. 5 motivation — the checkpoint-corruption dilemma "
            f"(epoch={EPOCH}, keep last {KEEP}, fault at {INJECT_AT})")
-    emit(f"rolling store contents at the end of training:")
+    emit("rolling store contents at the end of training:")
     table(rows)
     emit()
     emit(f"if the degradation is noticed {NOTICE_DELAY} iterations after the")

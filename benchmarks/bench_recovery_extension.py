@@ -14,8 +14,6 @@ recover.
 
 from __future__ import annotations
 
-import numpy as np
-
 from _report import emit, header, paper_vs_measured, table
 from conftest import NUM_DEVICES
 from bench_fig2_latent_outcomes import ControlledFault

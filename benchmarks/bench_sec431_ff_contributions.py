@@ -16,7 +16,7 @@ import numpy as np
 
 from _report import emit, header, paper_vs_measured, table
 from repro.accelerator.ffs import FFDescriptor
-from repro.core.faults import Campaign, HardwareFault, sample_fault
+from repro.core.faults import Campaign, HardwareFault
 from repro.workloads import build_workload
 
 

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from _report import emit, header, paper_vs_measured, table
 from conftest import NUM_DEVICES
 from repro.core.mitigation import (

@@ -1,0 +1,171 @@
+"""Overhead of the fused training-state layer (``repro.state``).
+
+The always-on mitigation of Sec. 5 keeps a rolling ring of pre-iteration
+snapshots, so snapshot-capture cost is paid **every iteration**.  The
+fused state layer turns that capture from one ``ndarray`` copy per
+parameter / optimizer slot / replica (hundreds of small allocations) into
+one ``memcpy`` per fused buffer.
+
+Measured here, on an 8-device trainer:
+
+* per-snapshot capture cost, fused (``Checkpoint.capture``) vs the
+  legacy scattered walk (``Checkpoint.capture_scattered``) — asserted to
+  be at least 3x cheaper fused;
+* end-to-end training throughput with the full mitigation hook
+  (detector + snapshot-ring recovery) attached, fused vs scattered
+  capture in the ring — the end-to-end win of the state layer.
+
+Both capture paths produce interchangeable checkpoints (see
+``tests/test_state_arena.py``), so this is a pure-overhead comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _report import emit, header, paper_vs_measured, table
+from repro.core.mitigation import (
+    HardwareFailureDetector,
+    MitigationHook,
+    RecoveryManager,
+    derive_bounds_for_trainer,
+)
+from repro.distributed import SyncDataParallelTrainer
+from repro.training.checkpoints import Checkpoint
+from repro.workloads import build_workload
+
+NUM_DEVICES = 8
+WARMUP_ITERATIONS = 8
+SPEEDUP_FLOOR = 3.0
+
+
+def _best_time(fn, repeats: int = 30) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class _TimedRecoveryManager(RecoveryManager):
+    """Snapshot-ring bookkeeping with its capture time accounted, using
+    either the fused or the (pre-fusion baseline) scattered capture."""
+
+    def __init__(self, capture):
+        super().__init__(strategy="snapshot")
+        self._capture = capture
+        self.capture_seconds = 0.0
+
+    def before_iteration(self, trainer, iteration: int) -> None:
+        start = time.perf_counter()
+        self._snapshots.append(self._capture(trainer))
+        self.capture_seconds += time.perf_counter() - start
+
+
+def _build_trainer(spec):
+    trainer = SyncDataParallelTrainer(spec, num_devices=NUM_DEVICES, seed=0,
+                                      test_every=0)
+    trainer.train(WARMUP_ITERATIONS)
+    return trainer
+
+
+def _run_with_hook(spec, capture, iterations: int = 12) -> tuple[float, float]:
+    """One mitigation-hook training run; returns (iterations/s, seconds
+    spent in snapshot bookkeeping)."""
+    trainer = _build_trainer(spec)
+    manager = _TimedRecoveryManager(capture)
+    hook = MitigationHook(
+        HardwareFailureDetector(derive_bounds_for_trainer(trainer)),
+        recovery=manager,
+    )
+    trainer.add_hook(hook)
+    start = time.perf_counter()
+    trainer.train(iterations)
+    return iterations / (time.perf_counter() - start), manager.capture_seconds
+
+
+def _end_to_end(spec, repeats: int = 3):
+    """Interleaved best-of-N mitigation-hook runs, fused vs scattered
+    capture (interleaving cancels slow drift in machine load)."""
+    fused_ips, scattered_ips = 0.0, 0.0
+    fused_book, scattered_book = float("inf"), float("inf")
+    for _ in range(repeats):
+        ips, book = _run_with_hook(spec, Checkpoint.capture)
+        fused_ips, fused_book = max(fused_ips, ips), min(fused_book, book)
+        ips, book = _run_with_hook(spec, Checkpoint.capture_scattered)
+        scattered_ips = max(scattered_ips, ips)
+        scattered_book = min(scattered_book, book)
+    return fused_ips, scattered_ips, fused_book, scattered_book
+
+
+def bench_state_overhead(benchmark):
+    spec = build_workload("resnet", size="tiny", seed=0)
+    trainer = _build_trainer(spec)
+    assert trainer.arenas is not None, "trainer did not build a state arena"
+
+    fused_time = _best_time(lambda: Checkpoint.capture(trainer))
+    scattered_time = _best_time(lambda: Checkpoint.capture_scattered(trainer))
+    speedup = scattered_time / fused_time
+
+    fused_ckpt = Checkpoint.capture(trainer)
+    scattered_ckpt = Checkpoint.capture_scattered(trainer)
+
+    fused_ips, scattered_ips, fused_book, scattered_book = _end_to_end(spec)
+
+    num_arrays = sum(
+        len(state) for state in scattered_ckpt.replica_states
+    ) + sum(
+        len(v) for k, v in scattered_ckpt.optimizer_state.items()
+        if k not in ("iteration", "lr")
+    )
+    header(f"repro.state — snapshot capture cost ({NUM_DEVICES} devices, "
+           "resnet/tiny, best-of-N)")
+    table([
+        {"capture path": "fused (one memcpy per buffer)",
+         "time_us": fused_time * 1e6,
+         "snapshot_MB": fused_ckpt.nbytes() / 1e6},
+        {"capture path": f"scattered ({num_arrays} array copies)",
+         "time_us": scattered_time * 1e6,
+         "snapshot_MB": scattered_ckpt.nbytes() / 1e6},
+    ])
+    emit()
+    emit(f"per-snapshot speedup: {speedup:.1f}x "
+         f"(floor: {SPEEDUP_FLOOR:.0f}x)")
+    emit(f"end-to-end with mitigation hook attached: "
+         f"{fused_ips:.2f} it/s fused vs {scattered_ips:.2f} it/s scattered "
+         f"({100.0 * (fused_ips / scattered_ips - 1.0):+.1f}%)")
+    emit(f"snapshot bookkeeping inside those runs: "
+         f"{fused_book * 1e3:.1f}ms fused vs {scattered_book * 1e3:.1f}ms "
+         f"scattered ({scattered_book / fused_book:.1f}x less time in "
+         f"bookkeeping)")
+    emit()
+    paper_vs_measured(
+        "always-on recovery bookkeeping must stay cheap per iteration "
+        "(Sec. 5.3: overheads well under one percent on real pods)",
+        "snapshot bookkeeping amortized to a negligible slice of an "
+        "iteration",
+        f"fused capture {fused_time * 1e6:.0f}us vs scattered "
+        f"{scattered_time * 1e6:.0f}us per snapshot",
+        speedup >= SPEEDUP_FLOOR,
+    )
+
+    assert fused_ckpt.nbytes() == scattered_ckpt.nbytes(), (
+        "fused and scattered snapshots must account the same bytes"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fused snapshot capture is only {speedup:.2f}x cheaper than the "
+        f"scattered walk (target: >={SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert fused_book < scattered_book, (
+        "fused capture must spend less time in snapshot bookkeeping "
+        "end-to-end with the hook attached"
+    )
+    # Throughput on a busy host is noisy; guard against regressions only.
+    assert fused_ips >= 0.85 * scattered_ips, (
+        f"fused end-to-end throughput regressed: {fused_ips:.2f} vs "
+        f"{scattered_ips:.2f} it/s"
+    )
+
+    # The benchmarked quantity: one fused snapshot capture.
+    benchmark(lambda: Checkpoint.capture(trainer))

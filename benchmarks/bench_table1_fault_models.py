@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _report import emit, header, table
+from _report import header, table
 from repro.accelerator.ffs import GLOBAL_GROUP_FRACTIONS, FFDescriptor
 from repro.core.faults.software_models import (
     GLOBAL_GROUP_MODELS,

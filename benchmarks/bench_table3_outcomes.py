@@ -8,8 +8,6 @@ classifier.
 
 from __future__ import annotations
 
-import numpy as np
-
 from _report import emit, header, table
 from conftest import NUM_DEVICES
 from repro.accelerator.ffs import FFDescriptor

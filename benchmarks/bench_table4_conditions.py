@@ -28,14 +28,11 @@ PAPER_RANGES = {
 
 def bench_table4_conditions(benchmark, campaign_results):
     rows = []
-    condition_latencies = []
     benign_max = {"max_history": 0.0, "max_mvar": 0.0}
     for name, result in campaign_results.items():
         for experiment in result.results:
             window = experiment.condition_window
             if experiment.report.is_unexpected:
-                value = max(window.get("max_history", 0.0),
-                            window.get("max_mvar", 0.0))
                 rows.append({
                     "workload": name,
                     "outcome": experiment.outcome.value,

@@ -8,6 +8,19 @@ fires exactly once (first matching op execution on the chosen device),
 and everything is disarmed at the end of the iteration.  The resulting
 :class:`~repro.core.faults.software_models.FaultRecord` is kept for
 analysis (faulty element counts/positions/values — Table 4's ranges).
+
+Stable arena addressing
+-----------------------
+Injection targets can be named two ways:
+
+* by qualified **module** path (``"1.conv1"``) — the historical form; or
+* by stable **arena name** (``"1.conv1.weight"``), a key of the trainer's
+  :class:`~repro.state.StateArena` index.  The injector resolves the
+  owning module from the arena layout, and
+  :class:`UpdateFaultInjector` targets exactly that parameter's update
+  slot instead of sampling one.  Because arena names survive model-code
+  refactors as long as the registered leaves keep their names,
+  propagation reports keyed this way stay comparable across versions.
 """
 
 from __future__ import annotations
@@ -21,6 +34,31 @@ from repro.core.faults.software_models import (
     Group7ZeroInput1,
     model_for_ff,
 )
+from repro.state import StateArena
+
+
+def resolve_site_module(trainer, replica, module_name: str):
+    """Resolve an injection target to a module of ``replica``.
+
+    Accepts either a qualified module path or a stable arena name (a
+    parameter name from the trainer's fused state index), in which case
+    the parameter's owning module is returned.
+    """
+    modules = dict(replica.named_modules())
+    try:
+        return modules[module_name]
+    except KeyError:
+        pass
+    arena = getattr(trainer, "master_arena", None)
+    if arena is not None and module_name in arena.index:
+        owner = StateArena.owner_module(module_name)
+        if owner in modules:
+            return modules[owner]
+    raise KeyError(
+        f"op site {module_name!r} not found in model (neither a module "
+        f"path nor an arena name); available modules: "
+        f"{sorted(modules)[:10]}..."
+    )
 
 
 class FaultInjector:
@@ -63,14 +101,7 @@ class FaultInjector:
                 f"{trainer.num_devices} devices"
             )
         replica = trainer.replicas[self.fault.device]
-        modules = dict(replica.named_modules())
-        try:
-            module = modules[self.fault.site.module_name]
-        except KeyError:
-            raise KeyError(
-                f"op site {self.fault.site.module_name!r} not found in model; "
-                f"available: {sorted(modules)[:10]}..."
-            ) from None
+        module = resolve_site_module(trainer, replica, self.fault.site.module_name)
         module.set_fault_hook(self.fault.site.kind, self._fault_hook)
         self._armed_module = module
 
@@ -110,8 +141,21 @@ class UpdateFaultInjector:
 
     def before_iteration(self, trainer, iteration: int) -> None:
         if iteration == self.fault.iteration:
-            self._target_index = int(self._rng.integers(0, len(trainer.optimizer.params)))
+            self._target_index = self._resolve_target(trainer)
             trainer.optimizer.set_update_hook(self._update_hook)
+
+    def _resolve_target(self, trainer) -> int:
+        """The parameter index whose update is perturbed.
+
+        If the fault site names a parameter in the trainer's fused state
+        index, target it deterministically (stable across model
+        refactors); otherwise sample one, as before.
+        """
+        arena = getattr(trainer, "master_arena", None)
+        site_name = self.fault.site.module_name
+        if arena is not None and site_name in arena.index:
+            return arena.index_of(site_name)
+        return int(self._rng.integers(0, len(trainer.optimizer.params)))
 
     def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
         if iteration == self.fault.iteration:

@@ -37,14 +37,15 @@ class GradientClipper:
         if not np.isfinite(norm):
             # Non-finite gradients: zero them (the strongest clip) and
             # record the event — clipping has no better option here.
+            # In-place so arena-bound gradient views stay coherent.
             for param in params:
-                param.grad = np.nan_to_num(param.grad, nan=0.0, posinf=0.0, neginf=0.0)
+                np.nan_to_num(param.grad, copy=False, nan=0.0, posinf=0.0, neginf=0.0)
             total = sum(float(np.sum(p.grad.astype(np.float64) ** 2)) for p in params)
             norm = float(np.sqrt(total))
         if norm > self.max_norm:
             scale = self.max_norm / (norm + 1e-12)
             for param in params:
-                param.grad = (param.grad * scale).astype(np.float32)
+                np.multiply(param.grad, scale, out=param.grad)
             self.clip_events.append(iteration)
 
     @property

@@ -187,34 +187,43 @@ class RecoveryManager:
 
     @staticmethod
     def _invert_step(optimizer, entry: dict) -> None:
-        """Undo one optimizer step from its recorded updates/gradients."""
+        """Undo one optimizer step from its recorded updates/gradients.
+
+        All writes are in place so arena-bound parameters and slot views
+        (see :mod:`repro.state`) stay bound to their fused buffers."""
         updates, grads = entry["updates"], entry["grads"]
         if updates is None or grads is None or len(updates) != len(optimizer.params):
             raise RecoveryError("incomplete step record; cannot invert")
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
             for i, param in enumerate(optimizer.params):
-                param.data = (param.data + updates[i]).astype(np.float32)
+                np.add(param.data, updates[i], out=param.data, casting="unsafe")
             if isinstance(optimizer, Adam):
                 b1, b2 = optimizer.beta1, optimizer.beta2
                 for i, g in enumerate(grads):
-                    optimizer.m[i] = ((optimizer.m[i] - (1 - b1) * g) / b1).astype(np.float32)
+                    m = optimizer.m[i]
+                    np.subtract(m, (1 - b1) * g, out=m)
+                    np.divide(m, b1, out=m)
                     # Catastrophic cancellation can push the inverted second
                     # moment slightly negative (v is a sum of squares, so
                     # its true value is non-negative); clamp to the
                     # physical domain or the next sqrt(v) would be NaN.
-                    inverted_v = (optimizer.v[i] - (1 - b2) * g * g) / b2
-                    optimizer.v[i] = np.maximum(inverted_v, 0.0).astype(np.float32)
+                    v = optimizer.v[i]
+                    np.subtract(v, (1 - b2) * g * g, out=v)
+                    np.divide(v, b2, out=v)
+                    np.maximum(v, 0.0, out=v)
             elif isinstance(optimizer, SGD) and optimizer.momentum > 0:
                 mu = optimizer.momentum
                 for i, g in enumerate(grads):
-                    optimizer.velocity[i] = ((optimizer.velocity[i] - g) / mu).astype(
-                        np.float32
-                    )
+                    vel = optimizer.velocity[i]
+                    np.subtract(vel, g, out=vel, casting="unsafe")
+                    np.divide(vel, mu, out=vel)
             elif isinstance(optimizer, RMSProp):
                 rho = optimizer.rho
                 for i, g in enumerate(grads):
-                    inverted_sq = (optimizer.sq[i] - (1 - rho) * g * g) / rho
-                    optimizer.sq[i] = np.maximum(inverted_sq, 0.0).astype(np.float32)
+                    sq = optimizer.sq[i]
+                    np.subtract(sq, (1 - rho) * g * g, out=sq)
+                    np.divide(sq, rho, out=sq)
+                    np.maximum(sq, 0.0, out=sq)
         optimizer.iteration -= 1
 
 

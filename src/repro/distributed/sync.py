@@ -24,6 +24,7 @@ from repro.nn.linear import Dropout
 from repro.nn.module import Module
 from repro.nn.normalization import max_moving_variance
 from repro.optim.base import Optimizer
+from repro.state import build_arenas
 from repro.training.metrics import ConvergenceRecord
 from repro.workloads.base import WorkloadSpec
 
@@ -78,7 +79,18 @@ class SyncDataParallelTrainer:
         # Identical replicas: same model seed on every device.
         self.replicas: list[Module] = [spec.build_model(seed) for _ in range(num_devices)]
         self.master = self.replicas[0]
+        # Fused state layer: each replica's parameters/gradients are laid
+        # out in one contiguous arena, enabling whole-buffer gradient
+        # averaging, broadcast, and snapshotting.  ``None`` (e.g. tied
+        # weights) falls back to the scattered per-parameter paths.
+        self.arenas = build_arenas(self.replicas)
+        self.master_arena = self.arenas[0] if self.arenas else None
         self.optimizer: Optimizer = spec.build_optimizer(list(self.master.parameters()))
+        if self.master_arena is not None:
+            self.optimizer.bind_arena(self.master_arena)
+            self._grad_accum = self.master_arena.scratch()
+        else:
+            self._grad_accum = None
         self.losses = [spec.loss_fn() for _ in range(num_devices)]
         self.loader = BatchLoader(spec.train_data, spec.batch_size, base_seed=seed)
         self.record = ConvergenceRecord()
@@ -101,7 +113,13 @@ class SyncDataParallelTrainer:
     # Core iteration
     # ------------------------------------------------------------------
     def _broadcast_weights(self) -> None:
-        """Copy master parameters into every other replica."""
+        """Copy master parameters into every other replica — one fused
+        buffer copy per replica when arenas are available."""
+        if self.arenas is not None:
+            master = self.master_arena.param
+            for arena in self.arenas[1:]:
+                np.copyto(arena.param, master)
+            return
         master_params = list(self.master.parameters())
         for replica in self.replicas[1:]:
             for p_master, p_replica in zip(master_params, replica.parameters()):
@@ -114,8 +132,13 @@ class SyncDataParallelTrainer:
         central parameter server would observe them.
         """
         self._dispatch("before_iteration", iteration)
-        master_params = list(self.master.parameters())
-        grad_sums = [np.zeros_like(p.data) for p in master_params]
+        fused = self.arenas is not None
+        if fused:
+            grad_accum = self._grad_accum
+            grad_accum.fill(0.0)
+        else:
+            master_params = list(self.master.parameters())
+            grad_sums = [np.zeros_like(p.data) for p in master_params]
         total_loss = 0.0
         total_acc = 0.0
         for device in range(self.num_devices):
@@ -126,18 +149,28 @@ class SyncDataParallelTrainer:
             with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
                 out = model.forward(x)
                 loss = self.losses[device].forward(out, y)
-                model.zero_grad()
+                if fused:
+                    self.arenas[device].grad.fill(0.0)
+                else:
+                    model.zero_grad()
                 model.backward(self.losses[device].backward())
             total_loss += loss
             total_acc += self.spec.metric(out, y)
-            for g_sum, param in zip(grad_sums, model.parameters()):
-                with np.errstate(over="ignore", invalid="ignore"):
-                    g_sum += param.grad
-        # Average gradients into the master replica (the "central server").
-        inv = 1.0 / self.num_devices
-        for param, g_sum in zip(master_params, grad_sums):
             with np.errstate(over="ignore", invalid="ignore"):
-                param.grad = (g_sum * inv).astype(np.float32)
+                if fused:
+                    grad_accum += self.arenas[device].grad
+                else:
+                    for g_sum, param in zip(grad_sums, model.parameters()):
+                        g_sum += param.grad
+        # Average gradients into the master replica (the "central server"):
+        # one fused axpy instead of a per-parameter loop.
+        inv = 1.0 / self.num_devices
+        with np.errstate(over="ignore", invalid="ignore"):
+            if fused:
+                np.multiply(grad_accum, inv, out=self.master_arena.grad)
+            else:
+                for param, g_sum in zip(master_params, grad_sums):
+                    param.grad = (g_sum * inv).astype(np.float32)
         self._dispatch("after_backward", iteration)
         self.optimizer.step()
         self._dispatch("after_step", iteration)
@@ -194,6 +227,8 @@ class SyncDataParallelTrainer:
     def _state_is_finite(self, loss: float) -> bool:
         if not np.isfinite(loss):
             return False
+        if self.master_arena is not None:
+            return bool(np.isfinite(self.master_arena.param).all())
         for param in self.master.parameters():
             if not np.all(np.isfinite(param.data)):
                 return False

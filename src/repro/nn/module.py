@@ -154,19 +154,50 @@ class Module:
                 out[f"state:{mod_name}:{key}"] = np.array(value, copy=True)
         return out
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], allow_partial: bool = False
+    ) -> None:
+        """Restore a :meth:`state_dict` snapshot, in place.
+
+        The state dict must cover every parameter and every extra-state
+        leaf; missing or unexpected keys raise ``KeyError`` (a partial
+        load would silently leave the remaining state stale).  Pass
+        ``allow_partial=True`` to load a subset deliberately.  Parameter
+        values are written into the existing arrays, so arena views (see
+        :mod:`repro.state`) survive a load.
+        """
         params = dict(self.named_parameters())
+        modules = dict(self.named_modules())
+        expected = {f"param:{name}" for name in params}
+        for mod_name, module in modules.items():
+            for state_key in module.extra_state():
+                expected.add(f"state:{mod_name}:{state_key}")
+        unexpected = sorted(set(state) - expected)
+        if unexpected:
+            raise KeyError(
+                f"unexpected state keys (not in this model): {unexpected[:5]}"
+            )
+        missing = sorted(expected - set(state))
+        if missing and not allow_partial:
+            raise KeyError(
+                f"state dict is missing {len(missing)} keys (e.g. "
+                f"{missing[:5]}); pass allow_partial=True to load anyway"
+            )
         extra: dict[str, dict[str, np.ndarray]] = {}
         for key, value in state.items():
             kind, _, rest = key.partition(":")
             if kind == "param":
-                params[rest].data = np.array(value, copy=True)
-            elif kind == "state":
+                param = params[rest]
+                value = np.asarray(value)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: state has {value.shape}, "
+                        f"parameter has {param.data.shape}"
+                    )
+                param.data[...] = value
+            else:
                 mod_name, _, state_key = rest.partition(":")
                 extra.setdefault(mod_name, {})[state_key] = value
-            else:
-                raise KeyError(f"unrecognized state key: {key}")
-        modules = dict(self.named_modules())
         for mod_name, mod_state in extra.items():
             modules[mod_name].load_extra_state(
                 {k: np.array(v, copy=True) for k, v in mod_state.items()}

@@ -43,6 +43,8 @@ class Adam(Optimizer):
         return True
 
     def history_magnitude(self) -> float:
+        if self._arena is not None:
+            return self._fused_max_abs(self._fused_slots["m"], self._fused_slots["v"])
         return max_abs(self.m + self.v)
 
     def first_moment_arrays(self) -> list[np.ndarray]:
@@ -60,9 +62,47 @@ class Adam(Optimizer):
         v_hat = self.v[i] / (1.0 - self.beta2**t)
         return (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
 
+    def _fused_update_into(self, out: np.ndarray, t: int) -> None:
+        """Write the fused bias-corrected update ``u_t`` into ``out``.
+
+        Evaluates the exact expression tree of :meth:`_update_for`
+        (``lr * m_hat / (sqrt(v_hat) + eps)``) over the fused buffers, so
+        each element is bit-identical to the per-parameter path."""
+        m = self._fused_slots["m"]
+        v = self._fused_slots["v"]
+        s = self._scratch
+        np.divide(v, 1.0 - self.beta2**t, out=s)
+        np.sqrt(s, out=s)
+        np.add(s, self.eps, out=s)
+        np.divide(m, 1.0 - self.beta1**t, out=out)
+        np.multiply(out, self.lr, out=out)
+        np.divide(out, s, out=out)
+
+    def _fused_step(self, t: int) -> None:
+        g = self._arena.grad
+        m = self._fused_slots["m"]
+        v = self._fused_slots["v"]
+        s = self._scratch
+        u = self._update_buf
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            # m_t = beta1 * m + (1 - beta1) * g
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(g, 1.0 - self.beta1, out=s)
+            np.add(m, s, out=m)
+            # v_t = beta2 * v + ((1 - beta2) * g) * g
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(g, 1.0 - self.beta2, out=s)
+            np.multiply(s, g, out=s)
+            np.add(v, s, out=v)
+            self._fused_update_into(u, t)
+        self._apply_fused_update(u)
+
     def step(self) -> None:
         self.iteration += 1
         t = self.iteration
+        if self._arena is not None:
+            self._fused_step(t)
+            return
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
             for i, param in enumerate(self.params):
                 g = param.grad
@@ -85,6 +125,12 @@ class AdamW(Adam):
         update = super()._update_for(i, param, t)
         return (update + self.lr * self.weight_decay * param.data).astype(np.float32)
 
+    def _fused_update_into(self, out: np.ndarray, t: int) -> None:
+        super()._fused_update_into(out, t)
+        s = self._scratch
+        np.multiply(self._arena.param, self.lr * self.weight_decay, out=s)
+        np.add(out, s, out=out)
+
 
 class RMSProp(Optimizer):
     """RMSProp: normalizes by a running mean of squared gradients.
@@ -106,6 +152,8 @@ class RMSProp(Optimizer):
         return True
 
     def history_magnitude(self) -> float:
+        if self._arena is not None:
+            return self._fused_max_abs(self._fused_slots["sq"])
         return max_abs(self.sq)
 
     def second_moment_arrays(self) -> list[np.ndarray]:
@@ -114,8 +162,29 @@ class RMSProp(Optimizer):
     def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
         return {"sq": self.sq}
 
+    def _fused_step(self) -> None:
+        g = self._arena.grad
+        sq = self._fused_slots["sq"]
+        s = self._scratch
+        u = self._update_buf
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            # sq_t = rho * sq + ((1 - rho) * g) * g
+            np.multiply(sq, self.rho, out=sq)
+            np.multiply(g, 1.0 - self.rho, out=s)
+            np.multiply(s, g, out=s)
+            np.add(sq, s, out=sq)
+            # u_t = lr * g / (sqrt(sq_t) + eps)
+            np.sqrt(sq, out=s)
+            np.add(s, self.eps, out=s)
+            np.multiply(g, self.lr, out=u)
+            np.divide(u, s, out=u)
+        self._apply_fused_update(u)
+
     def step(self) -> None:
         self.iteration += 1
+        if self._arena is not None:
+            self._fused_step()
+            return
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
             for i, param in enumerate(self.params):
                 g = param.grad

@@ -35,7 +35,22 @@ UpdateHook = Callable[[np.ndarray, dict], np.ndarray]
 
 
 class Optimizer:
-    """Base optimizer over an explicit parameter list."""
+    """Base optimizer over an explicit parameter list.
+
+    Optimizers run in one of two equivalent modes:
+
+    * **scattered** (default) — per-parameter arrays, per-parameter update
+      loop; and
+    * **fused** — after :meth:`bind_arena`, every slot lives in a
+      contiguous segment of a :class:`repro.state.StateArena` and
+      ``step()`` runs a handful of whole-buffer vectorized ops.
+
+    The fused path computes the exact same elementwise expressions over
+    the exact same float32 values, so the two modes are bit-identical;
+    per-parameter slot lists (``self.m`` etc.) remain valid as views into
+    the fused segments, keeping ``state_dict`` /
+    ``first_moment_arrays`` / fault-injection contracts unchanged.
+    """
 
     def __init__(self, params: list[Parameter], lr: float):
         self.params = list(params)
@@ -44,6 +59,10 @@ class Optimizer:
         self.lr = float(lr)
         self.iteration = 0
         self._update_hook: UpdateHook | None = None
+        self._arena = None
+        self._fused_slots: dict[str, np.ndarray] = {}
+        self._update_buf: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Interface
@@ -75,6 +94,54 @@ class Optimizer:
         return []
 
     # ------------------------------------------------------------------
+    # Arena binding (fused mode)
+    # ------------------------------------------------------------------
+    def bind_arena(self, arena) -> None:
+        """Move all optimizer slots into fused segments of ``arena``.
+
+        The arena must be built over exactly this optimizer's parameters
+        (same objects, same order).  Existing slot values are copied into
+        the segments and the per-parameter slot lists are rebound in place
+        as views, so every external reference stays valid.
+        """
+        if [id(p) for p in self.params] != [id(p) for p in arena.parameters]:
+            raise ValueError(
+                "arena layout does not match this optimizer's parameter list"
+            )
+        self._arena = arena
+        self._update_buf = arena.scratch()
+        self._scratch = arena.scratch()
+        self._fused_slots = {}
+        for name, slots in self._slot_arrays().items():
+            segment = arena.allocate_segment(f"opt.{name}")
+            views = arena.views(f"opt.{name}")
+            for view, old in zip(views, slots):
+                view[...] = old
+            slots[:] = views
+            self._fused_slots[name] = segment
+
+    @property
+    def arena(self):
+        """The bound :class:`~repro.state.StateArena`, or ``None``."""
+        return self._arena
+
+    def fused_slot(self, name: str) -> np.ndarray:
+        """The fused buffer behind one slot (fused mode only)."""
+        return self._fused_slots[name]
+
+    def _fused_max_abs(self, *segments: np.ndarray) -> float:
+        """``max |.|`` across fused segments; inf/NaN map to inf (the
+        same semantics as :func:`max_abs` over scattered slot lists)."""
+        worst = 0.0
+        for buf in segments:
+            with np.errstate(invalid="ignore"):
+                m = np.abs(buf).max()
+            if not np.isfinite(m):
+                return float("inf")
+            worst = max(worst, float(m))
+        return worst
+
+    # ------------------------------------------------------------------
     # Shared plumbing
     # ------------------------------------------------------------------
     def zero_grad(self) -> None:
@@ -85,13 +152,33 @@ class Optimizer:
         self._update_hook = hook
 
     def _apply_update(self, param: Parameter, update: np.ndarray, index: int) -> None:
-        """Subtract ``update`` from ``param.data``, via the hook if set."""
+        """Subtract ``update`` from ``param.data``, via the hook if set.
+
+        Writes in place so arena-bound parameters keep their views."""
         if self._update_hook is not None:
             update = self._update_hook(
                 update, {"param": param, "index": index, "iteration": self.iteration}
             )
         with np.errstate(over="ignore", invalid="ignore"):
-            param.data = (param.data - update).astype(np.float32)
+            np.subtract(param.data, update, out=param.data, casting="unsafe")
+
+    def _apply_fused_update(self, update: np.ndarray) -> None:
+        """Fused-mode weight update: one vectorized subtraction when no
+        hook is installed, the per-parameter hook protocol otherwise."""
+        if self._update_hook is None:
+            with np.errstate(over="ignore", invalid="ignore"):
+                np.subtract(self._arena.param, update, out=self._arena.param)
+            return
+        index = self.index_views(update)
+        for i, (param, view) in enumerate(zip(self.params, index)):
+            self._apply_update(param, view, i)
+
+    def index_views(self, buf: np.ndarray) -> list[np.ndarray]:
+        """Per-parameter views of a buffer with the arena's layout."""
+        return [
+            buf[e.offset : e.offset + e.size].reshape(e.shape)
+            for e in self._arena.index.values()
+        ]
 
     # ------------------------------------------------------------------
     # State snapshot / restore

@@ -34,6 +34,8 @@ class SGD(Optimizer):
     def history_magnitude(self) -> float:
         if self.momentum == 0.0:
             return 0.0
+        if self._arena is not None:
+            return self._fused_max_abs(self._fused_slots["velocity"])
         return max_abs(self.velocity)
 
     def first_moment_arrays(self) -> list[np.ndarray]:
@@ -42,8 +44,25 @@ class SGD(Optimizer):
     def _slot_arrays(self) -> dict[str, list[np.ndarray]]:
         return {"velocity": self.velocity}
 
+    def _fused_step(self) -> None:
+        g = self._arena.grad
+        u = self._update_buf
+        with np.errstate(over="ignore", invalid="ignore"):
+            if self.momentum > 0.0:
+                # vel_t = momentum * vel + g;  u_t = lr * vel_t
+                vel = self._fused_slots["velocity"]
+                np.multiply(vel, self.momentum, out=vel)
+                np.add(vel, g, out=vel)
+                np.multiply(vel, self.lr, out=u)
+            else:
+                np.multiply(g, self.lr, out=u)
+        self._apply_fused_update(u)
+
     def step(self) -> None:
         self.iteration += 1
+        if self._arena is not None:
+            self._fused_step()
+            return
         with np.errstate(over="ignore", invalid="ignore"):
             for i, param in enumerate(self.params):
                 if self.momentum > 0.0:

@@ -1,0 +1,21 @@
+"""Flat fused training-state layer (see :mod:`repro.state.arena`)."""
+
+from repro.state.arena import (
+    GRAD_SEGMENT,
+    OPT_SEGMENT_PREFIX,
+    PARAM_SEGMENT,
+    ArenaEntry,
+    ArenaLayoutError,
+    StateArena,
+    build_arenas,
+)
+
+__all__ = [
+    "ArenaEntry",
+    "ArenaLayoutError",
+    "StateArena",
+    "build_arenas",
+    "GRAD_SEGMENT",
+    "OPT_SEGMENT_PREFIX",
+    "PARAM_SEGMENT",
+]

@@ -59,8 +59,6 @@ class TestBitFlips:
     @given(finite_floats, st.integers(min_value=0, max_value=15))
     @settings(max_examples=200, deadline=None)
     def test_bfloat16_flip_involution_on_truncated(self, x, bit):
-        from repro.tensor.dtypes import to_bfloat16
-
         # Truncate-then-flip twice returns the truncated value.
         base = np.float32(x)
         flipped = flip_bfloat16_bit(base, bit)

@@ -1,0 +1,81 @@
+"""Golden-trace regression: the fused state layer must be numerically
+invisible.
+
+``tests/data/golden_traces.json`` holds convergence traces (loss,
+accuracy, gradient-history magnitude, mvar magnitude, test accuracy)
+recorded **before** the ``repro.state`` refactor, stored as ``float.hex``
+strings so the comparison is bit-exact, plus a sha256 digest over the
+final parameter / optimizer-slot / extra-state bytes.  Any change that
+perturbs a single ULP anywhere in the training loop fails here.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import SyncDataParallelTrainer
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
+
+TRACE_FIELDS = [
+    ("loss", "train_loss"),
+    ("acc", "train_acc"),
+    ("hist", "history_magnitude"),
+    ("mvar", "mvar_magnitude"),
+    ("test_acc", "test_acc"),
+]
+
+
+def load_cases():
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    return golden["cases"]
+
+
+def state_digest(trainer) -> str:
+    """sha256 over final params, optimizer slots, and per-replica extra
+    state (BatchNorm moving statistics), in a deterministic order."""
+    h = hashlib.sha256()
+    for name, param in sorted(trainer.master.named_parameters()):
+        h.update(name.encode())
+        h.update(param.data.tobytes())
+    opt = trainer.optimizer.state_dict()
+    for key in sorted(k for k in opt if k not in ("iteration", "lr")):
+        for arr in opt[key]:
+            h.update(arr.tobytes())
+    for replica in trainer.replicas:
+        for _mod_name, module in sorted(replica.named_modules()):
+            for _k, v in sorted(module.extra_state().items()):
+                h.update(v.tobytes())
+    return h.hexdigest()
+
+
+@pytest.mark.parametrize("case", load_cases(), ids=lambda c: c["workload"])
+def test_training_is_bit_identical_to_golden_trace(case):
+    spec = build_workload(case["workload"], size="tiny", seed=0)
+    trainer = SyncDataParallelTrainer(
+        spec,
+        num_devices=case["num_devices"],
+        seed=0,
+        test_every=case["test_every"],
+    )
+    # The golden traces were recorded pre-refactor; this run must take
+    # the fused path to prove the fused path is numerically invisible.
+    assert trainer.arenas is not None, "state arena was not built"
+
+    trainer.train(case["iterations"])
+
+    record = trainer.record
+    for field, attr in TRACE_FIELDS:
+        got = [float(v).hex() for v in getattr(record, attr)]
+        assert got == case[field], (
+            f"{case['workload']}: {attr} trace diverged from golden "
+            f"(first mismatch at index "
+            f"{next(i for i, (a, b) in enumerate(zip(case[field], got)) if a != b)})"
+        )
+    assert state_digest(trainer) == case["state_sha256"], (
+        f"{case['workload']}: final state digest diverged from golden"
+    )

@@ -1,6 +1,5 @@
 """Tests for op-site enumeration, fault sampling, and the injector."""
 
-import numpy as np
 import pytest
 
 from repro.accelerator.ffs import FFDescriptor

@@ -6,7 +6,6 @@ which outcome appears, and whether the mitigation catches it.
 """
 
 import numpy as np
-import pytest
 
 from repro.accelerator.ffs import FFDescriptor
 from repro.core.analysis.propagation import PropagationTracer

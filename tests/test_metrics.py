@@ -1,6 +1,5 @@
 """Tests for the convergence recorder."""
 
-import numpy as np
 import pytest
 
 from repro.training.metrics import ConvergenceRecord

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.accelerator.config import AcceleratorConfig
 from repro.accelerator.rtl import MACArraySimulator, RTLFault
 from repro.tensor.dtypes import to_bfloat16
 

@@ -69,7 +69,6 @@ class TestRecordConsistency:
 
 class TestGroupSemantics:
     def test_group1_random_dynamic_range(self, tensor):
-        rng = np.random.default_rng(0)
         hit_large = False
         for seed in range(20):
             _, record = Group1RandomOutputs().apply(
@@ -263,7 +262,6 @@ class TestConservationProperties:
     def test_group2_faulty_count_matches_cycle_geometry(self, seed):
         """Group 2's zeroed-element count is always a whole number of
         lane bursts (full cycles), clipped at the schedule end."""
-        from repro.accelerator.dataflow import DataflowMap
         from repro.core.faults.software_models import Group2ZeroOutputs
 
         rng_data = np.random.default_rng(11)

@@ -1,0 +1,327 @@
+"""Tests for the fused training-state layer (repro.state)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, RMSProp
+from repro.state import ArenaLayoutError, StateArena, build_arenas
+from repro.training.checkpoints import Checkpoint
+
+
+def build_model(seed: int = 0) -> nn.Sequential:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Dense(6, 10, rng),
+        nn.BatchNorm(10),
+        nn.ReLU(),
+        nn.Dense(10, 4, rng),
+    )
+
+
+class TestLayout:
+    def test_index_covers_all_parameters(self):
+        model = build_model()
+        arena = StateArena(model)
+        assert set(arena.names()) == {n for n, _ in model.named_parameters()}
+        assert arena.total == model.num_parameters()
+
+    def test_offsets_are_contiguous(self):
+        arena = StateArena(build_model())
+        offset = 0
+        for name in arena.names():
+            entry = arena.entry(name)
+            assert entry.offset == offset
+            assert entry.size == int(np.prod(entry.shape)) if entry.shape else 1
+            offset += entry.size
+        assert offset == arena.total
+
+    def test_rebinding_preserves_values(self):
+        model = build_model()
+        before = {n: p.data.copy() for n, p in model.named_parameters()}
+        arena = StateArena(model)
+        for name, param in model.named_parameters():
+            assert np.array_equal(param.data, before[name])
+            assert param.data.base is arena.param or param.data is arena.param
+
+    def test_views_alias_the_buffer(self):
+        model = build_model()
+        arena = StateArena(model)
+        arena.param.fill(7.0)
+        for param in model.parameters():
+            assert np.all(param.data == 7.0)
+
+    def test_grad_accumulation_lands_in_buffer(self, rng):
+        model = build_model()
+        arena = StateArena(model)
+        x = rng.normal(size=(8, 6)).astype(np.float32)
+        loss = nn.SoftmaxCrossEntropy()
+        loss.forward(model.forward(x), np.zeros(8, dtype=np.int64))
+        arena.grad.fill(0.0)
+        model.backward(loss.backward())
+        total = sum(float(np.sum(np.abs(p.grad))) for p in model.parameters())
+        assert float(np.sum(np.abs(arena.grad))) == pytest.approx(total)
+        assert float(np.sum(np.abs(arena.grad))) > 0
+
+    def test_unknown_name_raises(self):
+        arena = StateArena(build_model())
+        with pytest.raises(KeyError):
+            arena.entry("nope.weight")
+        with pytest.raises(KeyError):
+            arena.index_of("nope.weight")
+
+    def test_owner_module(self):
+        assert StateArena.owner_module("0.conv1.weight") == "0.conv1"
+
+    def test_resolve(self):
+        arena = StateArena(build_model())
+        assert arena.resolve("0.weight") == ("0", "weight")
+
+    def test_tied_parameters_rejected(self):
+        class Tied(nn.Module):
+            def __init__(self):
+                super().__init__()
+                param = Parameter(np.zeros((2, 2), dtype=np.float32))
+                self._params["a"] = param
+                self._params["b"] = param
+
+        with pytest.raises(ArenaLayoutError):
+            StateArena(Tied())
+        assert build_arenas([Tied()]) is None
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ArenaLayoutError):
+            StateArena(nn.ReLU())
+
+
+def _clone_params(model):
+    return [Parameter(p.data.copy(), name=p.name) for p in model.parameters()]
+
+
+def _random_grads(params, rng, scale=1.0):
+    return [
+        (rng.normal(size=p.data.shape) * scale).astype(np.float32) for p in params
+    ]
+
+
+@pytest.mark.parametrize(
+    "make_optimizer",
+    [
+        lambda ps: SGD(ps, lr=0.05),
+        lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+        lambda ps: Adam(ps, lr=3e-3),
+        lambda ps: AdamW(ps, lr=3e-3, weight_decay=0.02),
+        lambda ps: RMSProp(ps, lr=1e-3),
+    ],
+    ids=["sgd", "sgd-momentum", "adam", "adamw", "rmsprop"],
+)
+class TestFusedStepBitIdentical:
+    """The fused optimizer path must be bit-identical to the scattered
+    path — including under overflowed (faulty) gradient magnitudes."""
+
+    def run_both(self, make_optimizer, grad_scale):
+        rng = np.random.default_rng(3)
+        model = build_model(0)
+        scattered_params = _clone_params(model)
+        scattered = make_optimizer(scattered_params)
+        arena = StateArena(model)
+        fused = make_optimizer(list(model.parameters()))
+        fused.bind_arena(arena)
+        for step in range(5):
+            grads = _random_grads(scattered_params, rng, scale=grad_scale)
+            for p_s, p_f, g in zip(scattered_params, model.parameters(), grads):
+                p_s.grad[...] = g
+                p_f.grad[...] = g
+            scattered.step()
+            fused.step()
+            for p_s, p_f in zip(scattered_params, model.parameters()):
+                assert np.array_equal(p_s.data, p_f.data, equal_nan=True), (
+                    f"divergence at step {step}"
+                )
+        for name, slots in scattered._slot_arrays().items():
+            for s_arr, f_arr in zip(slots, fused._slot_arrays()[name]):
+                assert np.array_equal(s_arr, f_arr, equal_nan=True)
+        assert scattered.history_magnitude() == fused.history_magnitude()
+
+    def test_normal_gradients(self, make_optimizer):
+        self.run_both(make_optimizer, grad_scale=1.0)
+
+    def test_faulty_gradients_overflow(self, make_optimizer):
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            self.run_both(make_optimizer, grad_scale=1e30)
+
+
+class TestFusedOptimizerPlumbing:
+    def test_slot_lists_are_views(self):
+        model = build_model()
+        arena = StateArena(model)
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        opt.bind_arena(arena)
+        opt.fused_slot("m").fill(3.0)
+        assert all(np.all(m == 3.0) for m in opt.m)
+
+    def test_bind_preserves_existing_slot_values(self):
+        model = build_model()
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        opt.m[0][...] = 5.0
+        arena = StateArena(model)
+        opt.bind_arena(arena)
+        assert np.all(opt.m[0] == 5.0)
+        assert np.all(opt.fused_slot("m")[: opt.m[0].size] == 5.0)
+
+    def test_bind_requires_matching_params(self):
+        model = build_model()
+        arena = StateArena(model)
+        other = build_model(1)
+        opt = Adam(list(other.parameters()), lr=1e-3)
+        with pytest.raises(ValueError):
+            opt.bind_arena(arena)
+
+    def test_update_hook_still_fires_per_parameter(self):
+        model = build_model()
+        arena = StateArena(model)
+        opt = SGD(list(model.parameters()), lr=0.1)
+        opt.bind_arena(arena)
+        seen = []
+        opt.set_update_hook(lambda u, info: seen.append(info["index"]) or u)
+        for p in model.parameters():
+            p.grad[...] = 1.0
+        opt.step()
+        assert seen == list(range(len(opt.params)))
+
+    def test_state_dict_round_trip_fused(self):
+        model = build_model()
+        arena = StateArena(model)
+        opt = Adam(list(model.parameters()), lr=1e-3)
+        opt.bind_arena(arena)
+        for p in model.parameters():
+            p.grad[...] = 0.5
+        opt.step()
+        snapshot = opt.state_dict()
+        opt.step()
+        opt.load_state_dict(snapshot)
+        assert np.array_equal(opt.fused_slot("m"), np.concatenate(
+            [np.ravel(a) for a in snapshot["m"]]
+        ))
+        assert opt.iteration == 1
+
+
+class TestTrainerArena:
+    def test_trainer_builds_arenas(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        assert trainer.arenas is not None
+        assert len(trainer.arenas) == 2
+        assert trainer.optimizer.arena is trainer.master_arena
+
+    def test_broadcast_is_fused_copy(self, make_trainer):
+        trainer = make_trainer(num_devices=3)
+        trainer.train(2)
+        for arena in trainer.arenas[1:]:
+            assert np.array_equal(arena.param, trainer.master_arena.param)
+
+    def test_fused_checkpoint_round_trip(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        trainer.train(3)
+        ckpt = Checkpoint.capture(trainer)
+        assert ckpt._fused is not None
+        before = trainer.master_arena.param.copy()
+        trainer.train(3)
+        ckpt.restore(trainer)
+        assert trainer.iteration == 3
+        assert np.array_equal(trainer.master_arena.param, before)
+
+    def test_fused_and_scattered_checkpoints_agree(self, make_trainer):
+        trainer = make_trainer(num_devices=2)
+        trainer.train(3)
+        fused = Checkpoint.capture(trainer)
+        scattered = Checkpoint.capture_scattered(trainer)
+        for d in range(2):
+            f_state, s_state = fused.replica_states[d], scattered.replica_states[d]
+            assert set(f_state) == set(s_state)
+            for key in f_state:
+                assert np.array_equal(f_state[key], s_state[key]), key
+        f_opt, s_opt = fused.optimizer_state, scattered.optimizer_state
+        assert set(f_opt) == set(s_opt)
+        for key in f_opt:
+            if key in ("iteration", "lr"):
+                assert f_opt[key] == s_opt[key]
+            else:
+                for f_arr, s_arr in zip(f_opt[key], s_opt[key]):
+                    assert np.array_equal(f_arr, s_arr)
+        assert fused.nbytes() == scattered.nbytes()
+
+    def test_fused_checkpoint_restores_into_fresh_trainer(self, make_trainer):
+        donor = make_trainer(num_devices=2)
+        donor.train(4)
+        ckpt = Checkpoint.capture(donor)
+        fresh = make_trainer(num_devices=2, seed=9)
+        ckpt.restore(fresh)
+        assert fresh.iteration == 4
+        assert np.array_equal(fresh.master_arena.param, donor.master_arena.param)
+        assert fresh.optimizer.iteration == donor.optimizer.iteration
+
+    def test_scattered_checkpoint_restores_into_arena_trainer(self, make_trainer):
+        donor = make_trainer(num_devices=2)
+        donor.train(4)
+        ckpt = Checkpoint.capture_scattered(donor)
+        fresh = make_trainer(num_devices=2, seed=9)
+        ckpt.restore(fresh)
+        assert np.array_equal(fresh.master_arena.param, donor.master_arena.param)
+        # The restore must have gone through the views, not rebound them.
+        first = next(iter(fresh.master.parameters()))
+        assert first.data.base is fresh.master_arena.param
+
+
+class TestArenaNameInjection:
+    def test_injector_resolves_arena_name(self, make_trainer):
+        from repro.accelerator.ffs import FFInventory
+        from repro.core.faults.hardware import HardwareFault, OpSite
+        from repro.core.faults.injector import FaultInjector
+
+        trainer = make_trainer(num_devices=2)
+        param_name = trainer.master_arena.names()[0]
+        ff = FFInventory().sample(np.random.default_rng(0))
+        fault = HardwareFault(
+            ff=ff, site=OpSite(param_name, "weight_grad"),
+            iteration=1, device=1, seed=3,
+        )
+        injector = FaultInjector(fault)
+        trainer.add_hook(injector)
+        trainer.train(3)
+        assert injector.fired
+        assert injector.record is not None
+
+    def test_update_injector_targets_named_parameter(self, make_trainer):
+        from repro.accelerator.ffs import FFInventory
+        from repro.core.faults.hardware import HardwareFault, OpSite
+        from repro.core.faults.injector import UpdateFaultInjector
+
+        trainer = make_trainer(num_devices=2)
+        param_name = trainer.master_arena.names()[2]
+        expected_index = trainer.master_arena.index_of(param_name)
+        ff = FFInventory().sample(np.random.default_rng(0))
+        fault = HardwareFault(
+            ff=ff, site=OpSite(param_name, "forward"),
+            iteration=1, device=0, seed=3,
+        )
+        injector = UpdateFaultInjector(fault)
+        trainer.add_hook(injector)
+        trainer.train(3)
+        assert injector.fired
+        assert injector._target_index == expected_index
+
+    def test_unknown_site_still_raises(self, make_trainer):
+        from repro.accelerator.ffs import FFInventory
+        from repro.core.faults.hardware import HardwareFault, OpSite
+        from repro.core.faults.injector import FaultInjector
+
+        trainer = make_trainer(num_devices=2)
+        ff = FFInventory().sample(np.random.default_rng(0))
+        fault = HardwareFault(
+            ff=ff, site=OpSite("no.such.site", "forward"),
+            iteration=0, device=0, seed=3,
+        )
+        trainer.add_hook(FaultInjector(fault))
+        with pytest.raises(KeyError):
+            trainer.train(1)

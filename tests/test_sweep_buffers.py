@@ -1,12 +1,11 @@
 """Tests for the sweep driver and the on-chip buffer model."""
 
-import numpy as np
 import pytest
 
 from repro.accelerator.buffers import BufferModel, conv_footprint
 from repro.accelerator.config import AcceleratorConfig
 from repro.core.faults import Campaign
-from repro.core.faults.sweep import SweepAxis, SweepResult, run_sweep
+from repro.core.faults.sweep import SweepAxis, run_sweep
 from repro.workloads import build_workload
 
 

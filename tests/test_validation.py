@@ -1,7 +1,6 @@
 """Tests for the Sec. 3.2.3 software-vs-RTL validation."""
 
 import numpy as np
-import pytest
 
 from repro.accelerator.rtl import MACArraySimulator, RTLFault
 from repro.core.faults.validation import (
