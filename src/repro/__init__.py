@@ -19,6 +19,10 @@ Package layout
 ``repro.workloads``
     The Table 2 workload zoo (four ResNet configurations, DenseNet,
     EfficientNet, NFNet, YOLO, multigrid memory, Transformer).
+``repro.observe``
+    The unified observability layer: a typed event :class:`~repro.observe.Tracer`
+    with JSONL export, low-overhead counters/histograms, and
+    ``profile_scope`` wall-clock profiling of the hot paths.
 
 Quickstart
 ----------

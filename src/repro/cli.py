@@ -12,7 +12,9 @@ injection, evaluate the technique) as subcommands::
     python -m repro report results.jsonl
     python -m repro merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro validate --experiments 400
-    python -m repro mitigate resnet --iteration 20
+    python -m repro mitigate resnet --iteration 20 --trace run.trace.jsonl
+    python -m repro trace run.trace.jsonl --type fault_injected
+    python -m repro profile resnet --iterations 20
 
 Every command prints an artifact-style text report (see
 :mod:`repro.core.analysis.report`) and exits non-zero on hard failures.
@@ -39,6 +41,13 @@ from repro.core.mitigation import (
     RecoveryManager,
 )
 from repro.distributed import SyncDataParallelTrainer
+from repro.observe import (
+    PROFILER,
+    EVENT_TYPES,
+    Tracer,
+    read_trace,
+    render_profile,
+)
 from repro.workloads import build_workload, workload_names
 
 
@@ -51,13 +60,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_trainer(args, eval_device: int = 0,
-                  stop_on_nonfinite: bool = True) -> SyncDataParallelTrainer:
+                  stop_on_nonfinite: bool = True,
+                  tracer: Tracer | None = None) -> SyncDataParallelTrainer:
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     return SyncDataParallelTrainer(
         spec, num_devices=args.devices, seed=args.seed,
         test_every=max(spec.iterations // 6, 1), eval_device=eval_device,
-        stop_on_nonfinite=stop_on_nonfinite,
+        stop_on_nonfinite=stop_on_nonfinite, tracer=tracer,
     )
+
+
+def _make_tracer(args, command: str) -> Tracer | None:
+    """A tracer for commands carrying ``--trace PATH`` (else ``None``)."""
+    if not getattr(args, "trace", None):
+        return None
+    return Tracer(meta={"command": command, "workload": args.workload,
+                        "size": args.size, "devices": args.devices,
+                        "seed": args.seed})
+
+
+def _export_trace(tracer: Tracer | None, args) -> None:
+    if tracer is None:
+        return
+    count = tracer.export(args.trace)
+    note = f" ({tracer.dropped} dropped by the ring)" if tracer.dropped else ""
+    print(f"trace: {count} events -> {args.trace}{note}")
 
 
 def _make_fault(args) -> HardwareFault:
@@ -77,17 +104,20 @@ def _make_fault(args) -> HardwareFault:
 # ----------------------------------------------------------------------
 def cmd_train(args) -> int:
     """``repro train``: fault-free training with a text report."""
-    trainer = _make_trainer(args)
+    tracer = _make_tracer(args, "train")
+    trainer = _make_trainer(args, tracer=tracer)
     trainer.train(args.iterations)
     print(render_convergence(trainer.record, every=args.report_every,
                              title=f"{args.workload} fault-free"))
+    _export_trace(tracer, args)
     return 0
 
 
 def cmd_inject(args) -> int:
     """``repro inject``: one fault, classified against a clean run."""
+    tracer = _make_tracer(args, "inject")
     trainer = _make_trainer(args, eval_device=args.device,
-                            stop_on_nonfinite=False)
+                            stop_on_nonfinite=False, tracer=tracer)
     reference = _make_trainer(args)
     reference.stop_on_nonfinite = True
     fault = _make_fault(args)
@@ -103,6 +133,7 @@ def cmd_inject(args) -> int:
               f"max |value| {injector.record.max_abs_faulty():.3e}")
     report = classify_outcome(trainer.record, reference.record, fault.iteration)
     print(f"outcome: {report.outcome.value} (unexpected: {report.is_unexpected})")
+    _export_trace(tracer, args)
     return 0
 
 
@@ -199,8 +230,9 @@ def cmd_validate(args) -> int:
 
 def cmd_mitigate(args) -> int:
     """``repro mitigate``: inject under detection + recovery."""
+    tracer = _make_tracer(args, "mitigate")
     trainer = _make_trainer(args, eval_device=args.device,
-                            stop_on_nonfinite=False)
+                            stop_on_nonfinite=False, tracer=tracer)
     fault = _make_fault(args)
     detector = HardwareFailureDetector()
     trainer.add_hook(FaultInjector(fault))
@@ -212,8 +244,65 @@ def cmd_mitigate(args) -> int:
         print(f"\ndetected at iteration {detector.fired_at()} "
               f"(latency {detector.detection_latency(fault.iteration)}), "
               f"re-executed from {trainer.record.recoveries}")
+        _export_trace(tracer, args)
         return 0
     print("\nno detection event (the fault was masked or benign)")
+    _export_trace(tracer, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: render/filter an exported trace file."""
+    trace = read_trace(args.file)
+    print(f"# trace: {trace.path}")
+    if trace.meta:
+        print("meta: " + ", ".join(f"{k}={v}" for k, v in trace.meta.items()))
+    print(f"{len(trace)} events recovered ({trace.emitted} emitted, "
+          f"{trace.dropped} dropped by the ring)")
+    if trace.truncated:
+        print("WARNING: final line truncated (writer killed mid-record); "
+              "all complete events above were recovered", file=sys.stderr)
+    if args.summary:
+        print()
+        for event_type, count in sorted(trace.type_counts().items(),
+                                        key=lambda kv: -kv[1]):
+            print(f"  {event_type:<24} {count:>6}")
+        return 0
+    events = trace.events
+    if args.type:
+        events = [e for e in events if e.type == args.type]
+    if args.min_iteration is not None:
+        events = [e for e in events
+                  if e.iteration is not None and e.iteration >= args.min_iteration]
+    if args.max_iteration is not None:
+        events = [e for e in events
+                  if e.iteration is not None and e.iteration <= args.max_iteration]
+    shown = events if args.limit is None else events[-args.limit:]
+    if len(shown) < len(events):
+        print(f"... ({len(events) - len(shown)} earlier events elided; "
+              f"raise --limit to see them)")
+    print()
+    for event in shown:
+        print(event.render())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile``: time the hot paths over a short traced run."""
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        trainer = _make_trainer(args, stop_on_nonfinite=False)
+        # The mitigation hook exercises the snapshot/restore scopes too,
+        # so the report covers every instrumented path in one run.
+        trainer.add_hook(MitigationHook(HardwareFailureDetector(),
+                                        RecoveryManager(strategy="snapshot")))
+        trainer.train(args.iterations)
+    finally:
+        PROFILER.disable()
+    print(f"# profile: {args.workload} ({args.devices} devices, "
+          f"{args.iterations} iterations)")
+    print(render_profile())
     return 0
 
 
@@ -229,11 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_trace_arg(p):
+        p.add_argument("--trace", metavar="PATH",
+                       help="record a structured event trace and export "
+                            "it as JSONL to PATH")
+
     train = sub.add_parser("train", help="train a workload fault-free")
     train.add_argument("workload", choices=workload_names())
     _add_common(train)
     train.add_argument("--iterations", type=int, default=60)
     train.add_argument("--report-every", type=int, default=5)
+    add_trace_arg(train)
     train.set_defaults(func=cmd_train)
 
     def add_fault_args(p):
@@ -256,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_args(inject)
     inject.add_argument("--iterations", type=int, default=60)
     inject.add_argument("--report-every", type=int, default=5)
+    add_trace_arg(inject)
     inject.set_defaults(func=cmd_inject)
 
     campaign = sub.add_parser("campaign", help="run a statistical FI campaign")
@@ -309,7 +405,28 @@ def build_parser() -> argparse.ArgumentParser:
     mitigate.add_argument("--report-every", type=int, default=5)
     mitigate.add_argument("--strategy", choices=["snapshot", "arithmetic"],
                           default="snapshot")
+    add_trace_arg(mitigate)
     mitigate.set_defaults(func=cmd_mitigate)
+
+    trace = sub.add_parser("trace",
+                           help="render/filter an exported trace file")
+    trace.add_argument("file", help="path of a trace JSONL file")
+    trace.add_argument("--type", choices=sorted(EVENT_TYPES),
+                       help="only show events of this type")
+    trace.add_argument("--min-iteration", type=int, metavar="N")
+    trace.add_argument("--max-iteration", type=int, metavar="N")
+    trace.add_argument("--limit", type=int, metavar="N",
+                       help="show only the last N matching events")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-type event counts instead of lines")
+    trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser("profile",
+                             help="profile hot-path timings over a short run")
+    profile.add_argument("workload", choices=workload_names())
+    _add_common(profile)
+    profile.add_argument("--iterations", type=int, default=20)
+    profile.set_defaults(func=cmd_profile)
 
     return parser
 

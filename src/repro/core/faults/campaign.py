@@ -290,7 +290,7 @@ class Campaign:
     def run(self, num_experiments: int, seed: int = 1234, *,
             parallel: int = 1, store=None, resume: bool = False,
             timeout: float | None = None, max_retries: int = 2,
-            on_progress=None) -> CampaignResult:
+            on_progress=None, tracer=None) -> CampaignResult:
         """Run ``num_experiments`` seeded experiments and aggregate.
 
         Execution is delegated to :class:`repro.engine.CampaignEngine`:
@@ -332,7 +332,7 @@ class Campaign:
             self._engine_runner,
             EngineConfig(parallel=int(parallel), timeout=timeout,
                          max_retries=int(max_retries)),
-            store=store_obj, on_progress=on_progress)
+            store=store_obj, on_progress=on_progress, tracer=tracer)
         try:
             report = engine.run(self._work_units(faults))
         finally:

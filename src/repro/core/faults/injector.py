@@ -34,7 +34,22 @@ from repro.core.faults.software_models import (
     Group7ZeroInput1,
     model_for_ff,
 )
+from repro.observe import FAULT_INJECTED
 from repro.state import StateArena
+
+
+def _emit_injection(trainer, fault, record: FaultRecord | None,
+                    op: str) -> None:
+    """Publish a ``fault_injected`` event through the trainer's tracer."""
+    tracer = getattr(trainer, "tracer", None)
+    if tracer is None or not tracer.enabled or record is None:
+        return
+    tracer.emit(
+        FAULT_INJECTED, iteration=fault.iteration, device=fault.device,
+        site=fault.site.module_name, kind=fault.site.kind, op=op,
+        ff_category=fault.ff.category, model=record.model,
+        num_faulty=record.num_faulty,
+        max_abs_faulty=record.max_abs_faulty())
 
 
 def resolve_site_module(trainer, replica, module_name: str):
@@ -71,6 +86,7 @@ class FaultInjector:
         self._rng = np.random.default_rng(fault.seed)
         self._armed_module = None
         self.fired = False
+        self._emitted = False
 
     # ------------------------------------------------------------------
     # The hook that perturbs the tensor
@@ -110,6 +126,12 @@ class FaultInjector:
         if self._armed_module is not None:
             self._armed_module.set_fault_hook(self.fault.site.kind, None)
             self._armed_module = None
+            # Emit once per actual injection: a recovery rewind re-arms
+            # this hook for the re-executed iteration, but the transient
+            # fault does not recur (self.fired stays set).
+            if self.fired and not self._emitted:
+                self._emitted = True
+                _emit_injection(trainer, self.fault, self.record, op="site")
 
 
 class UpdateFaultInjector:
@@ -160,3 +182,6 @@ class UpdateFaultInjector:
     def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
         if iteration == self.fault.iteration:
             trainer.optimizer.set_update_hook(None)
+            if self.fired:
+                _emit_injection(trainer, self.fault, self.record,
+                                op="weight_update")

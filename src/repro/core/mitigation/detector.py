@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.mitigation.bounds import DetectionBounds, derive_bounds_for_trainer
 from repro.nn.normalization import batchnorm_layers
+from repro.observe import DETECTOR_FIRED, counter
 from repro.optim.base import max_abs
 
 
@@ -119,6 +120,13 @@ class HardwareFailureDetector:
             self.events.append(event)
             trainer.record.detections.append(iteration)
             self._fired_this_iteration = True
+            counter("detector.detections").inc()
+            tracer = getattr(trainer, "tracer", None)
+            if tracer is not None:
+                tracer.emit(
+                    DETECTOR_FIRED, iteration=iteration,
+                    condition=event.condition, magnitude=event.magnitude,
+                    bound=event.bound)
 
     @property
     def fired(self) -> bool:

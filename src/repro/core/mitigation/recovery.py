@@ -26,6 +26,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.observe import ROLLBACK, counter
 from repro.optim.adam import Adam, RMSProp
 from repro.optim.sgd import SGD
 from repro.training.checkpoints import Checkpoint
@@ -252,6 +253,13 @@ class MitigationHook:
         if not self.detector._fired_this_iteration:
             return
         resume = self.recovery.rewind(trainer, detected_at=iteration)
+        counter("recovery.rollbacks").inc()
+        tracer = getattr(trainer, "tracer", None)
+        if tracer is not None:
+            tracer.emit(ROLLBACK, iteration=iteration,
+                        resume_iteration=resume,
+                        strategy=self.recovery.strategy,
+                        recoveries=self.recovery.recoveries)
         # The training loop increments ``iteration`` after this hook; land
         # exactly on the resume point and tell the loop the non-finite
         # loss of the rolled-back iteration no longer applies.

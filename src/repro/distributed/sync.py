@@ -23,6 +23,7 @@ from repro.data.loader import BatchLoader
 from repro.nn.linear import Dropout
 from repro.nn.module import Module
 from repro.nn.normalization import max_moving_variance
+from repro.observe import DIVERGENCE, ITERATION_STATS, NULL_TRACER, profile_scope
 from repro.optim.base import Optimizer
 from repro.state import build_arenas
 from repro.training.metrics import ConvergenceRecord
@@ -64,6 +65,7 @@ class SyncDataParallelTrainer:
         track_conditions: bool = True,
         stop_on_nonfinite: bool = True,
         hooks: list | None = None,
+        tracer=None,
     ):
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1: {num_devices}")
@@ -75,6 +77,10 @@ class SyncDataParallelTrainer:
         self.track_conditions = bool(track_conditions)
         self.stop_on_nonfinite = bool(stop_on_nonfinite)
         self.hooks = list(hooks) if hooks else []
+        #: Shared event sink for the trainer and every attached hook
+        #: (injector, detector, recovery); defaults to the disabled
+        #: :data:`~repro.observe.NULL_TRACER`, whose emit is a no-op.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
         # Identical replicas: same model seed on every device.
         self.replicas: list[Module] = [spec.build_model(seed) for _ in range(num_devices)]
@@ -165,16 +171,19 @@ class SyncDataParallelTrainer:
         # Average gradients into the master replica (the "central server"):
         # one fused axpy instead of a per-parameter loop.
         inv = 1.0 / self.num_devices
-        with np.errstate(over="ignore", invalid="ignore"):
+        with profile_scope("sync.grad_average"), \
+                np.errstate(over="ignore", invalid="ignore"):
             if fused:
                 np.multiply(grad_accum, inv, out=self.master_arena.grad)
             else:
                 for param, g_sum in zip(master_params, grad_sums):
                     param.grad = (g_sum * inv).astype(np.float32)
         self._dispatch("after_backward", iteration)
-        self.optimizer.step()
+        with profile_scope("optim.step"):
+            self.optimizer.step()
         self._dispatch("after_step", iteration)
-        self._broadcast_weights()
+        with profile_scope("sync.broadcast"):
+            self._broadcast_weights()
         return total_loss / self.num_devices, total_acc / self.num_devices
 
     def evaluate(self, device: int | None = None, max_batches: int | None = None) -> float:
@@ -253,6 +262,10 @@ class SyncDataParallelTrainer:
             hist = self.history_magnitude() if self.track_conditions else None
             mvar = self.mvar_magnitude() if self.track_conditions else None
             self.record.record_train(t, loss, acc, hist, mvar)
+            if self.tracer.enabled:  # skip argument marshalling when off
+                self.tracer.emit(ITERATION_STATS, iteration=t,
+                                 loss=float(loss), acc=float(acc),
+                                 history_magnitude=hist, mvar_magnitude=mvar)
             if self.test_every and (t + 1) % self.test_every == 0:
                 self.record.record_test(t, self.evaluate())
             self._dispatch("after_iteration", t, loss, acc)
@@ -262,6 +275,7 @@ class SyncDataParallelTrainer:
                 continue
             if not self._state_is_finite(loss):
                 self.record.mark_nonfinite(t)
+                self.tracer.emit(DIVERGENCE, iteration=t, loss=float(loss))
                 if self.stop_on_nonfinite:
                     break
         return self.record

@@ -33,6 +33,13 @@ from repro.engine import worker as worker_proto
 from repro.engine.store import ResultStore
 from repro.engine.telemetry import ProgressSnapshot, ProgressTracker
 from repro.engine.worker import WorkUnit, worker_main
+from repro.observe import (
+    EXPERIMENT_COMPLETED,
+    EXPERIMENT_QUARANTINED,
+    NULL_TRACER,
+    counter,
+    profile_scope,
+)
 
 
 @dataclass
@@ -116,11 +123,15 @@ class CampaignEngine:
     """
 
     def __init__(self, runner_factory, config: EngineConfig | None = None,
-                 store: ResultStore | None = None, on_progress=None):
+                 store: ResultStore | None = None, on_progress=None,
+                 tracer=None):
         self.runner_factory = runner_factory
         self.config = config or EngineConfig()
         self.store = store
         self.on_progress = on_progress
+        #: Event sink for scheduler-level events (completions and
+        #: quarantines); defaults to the disabled NULL_TRACER.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Entry point
@@ -171,6 +182,9 @@ class CampaignEngine:
         report.executed += 1
         if self.store is not None:
             self.store.append(task.unit.key, payload)
+        counter("engine.completed").inc()
+        self.tracer.emit(EXPERIMENT_COMPLETED, key=task.unit.key,
+                         outcome=self._outcome(payload))
         tracker.task_done(worker_id, self._outcome(payload))
         self._publish(tracker)
 
@@ -183,11 +197,15 @@ class CampaignEngine:
         tracker.task_failed(worker_id, retried=retry)
         if retry:
             report.retries += 1
+            counter("engine.retries").inc()
             task.not_before = time.monotonic() + (
                 self.config.retry_backoff * (2 ** (task.attempts - 1)))
             pending.append(task)
         else:
             report.quarantined[task.unit.key] = error
+            counter("engine.quarantined").inc()
+            self.tracer.emit(EXPERIMENT_QUARANTINED, key=task.unit.key,
+                             error=error)
             if self.store is not None:
                 self.store.quarantine(task.unit.key, error, task.unit.payload)
         self._publish(tracker)
@@ -212,7 +230,8 @@ class CampaignEngine:
                 time.sleep(wait)
             tracker.task_started(0, task.unit.key)
             try:
-                payload = runner(task.unit.payload)
+                with profile_scope("engine.experiment"):
+                    payload = runner(task.unit.payload)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:  # noqa: BLE001 - retry policy owns this

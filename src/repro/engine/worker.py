@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.observe import profile_scope
+
 #: Message tags on the worker -> parent result queue.
 READY = "ready"
 DONE = "done"
@@ -46,7 +48,8 @@ def worker_main(worker_id: int, runner_factory, task_queue, result_queue) -> Non
             break
         key, payload = task
         try:
-            result = runner(payload)
+            with profile_scope("engine.experiment"):
+                result = runner(payload)
             result_queue.put((DONE, worker_id, (key, result)))
         except BaseException as exc:  # noqa: BLE001 - one bad unit must not kill the pool
             result_queue.put((ERROR, worker_id,

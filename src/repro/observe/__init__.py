@@ -1,0 +1,89 @@
+"""Unified observability layer: tracing, counters, and profiling.
+
+Every empirical claim reproduced from the paper rests on observing what
+a fault does iteration by iteration — the Fig. 4/5 propagation stories,
+the Table 4 necessary conditions, and the Sec. 5 detection latencies.
+This subsystem gives all of that one backbone instead of per-benchmark
+plumbing:
+
+* :class:`Tracer` — typed, structured events (``fault_injected``,
+  ``detector_fired``, ``rollback``, ``iteration_stats``, ``divergence``,
+  plus two engine-level types) in a bounded ring buffer with
+  schema-versioned JSONL export and a crash-tolerant reader;
+* :mod:`~repro.observe.counters` — numpy-backed counters/histograms in a
+  global registry, with a single-flag disabled fast path;
+* :func:`profile_scope` — wall-clock scopes on the hot paths (optimizer
+  step, gradient averaging, broadcast, snapshot capture/restore, engine
+  experiment execution), rendered by the CLI ``profile`` subcommand.
+
+The layer is *numerically invisible* (it only reads already-computed
+values; pinned by ``tests/test_golden_traces.py``) and cheap enough to
+leave on (pinned by ``benchmarks/bench_observe_overhead.py``).
+"""
+
+from repro.observe.counters import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    histogram,
+    metrics_enabled,
+    metrics_snapshot,
+    set_metrics_enabled,
+)
+from repro.observe.events import (
+    DETECTOR_FIRED,
+    DIVERGENCE,
+    EVENT_TYPES,
+    EXPERIMENT_COMPLETED,
+    EXPERIMENT_QUARANTINED,
+    FAULT_INJECTED,
+    ITERATION_STATS,
+    ROLLBACK,
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    TraceFormatError,
+    TraceSchemaError,
+)
+from repro.observe.profiler import (
+    PROFILER,
+    ProfileStat,
+    Profiler,
+    profile_scope,
+    render_profile,
+)
+from repro.observe.tracer import NULL_TRACER, TraceFile, Tracer, read_trace
+
+__all__ = [
+    "DETECTOR_FIRED",
+    "DIVERGENCE",
+    "EVENT_TYPES",
+    "EXPERIMENT_COMPLETED",
+    "EXPERIMENT_QUARANTINED",
+    "FAULT_INJECTED",
+    "ITERATION_STATS",
+    "NULL_TRACER",
+    "PROFILER",
+    "REGISTRY",
+    "ROLLBACK",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfileStat",
+    "Profiler",
+    "TraceEvent",
+    "TraceFile",
+    "TraceFormatError",
+    "TraceSchemaError",
+    "Tracer",
+    "counter",
+    "histogram",
+    "metrics_enabled",
+    "metrics_snapshot",
+    "profile_scope",
+    "read_trace",
+    "render_profile",
+    "set_metrics_enabled",
+]

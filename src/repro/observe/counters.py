@@ -1,0 +1,186 @@
+"""Low-overhead counters and histograms with a global registry.
+
+The large-scale fault-injection literature (PyTorchFI at scale,
+TensorFlow FI studies) converges on the same requirement: per-injection
+instrumentation must be cheap enough to leave on for millions of
+experiments.  These metrics are built accordingly:
+
+* a :class:`Counter` increment is one float add on a ``__slots__``
+  instance;
+* a :class:`Histogram` observation is one ``np.searchsorted`` into a
+  precomputed bound array plus one integer bucket increment — no
+  per-event allocation, ever (the buckets are a fixed ``int64`` array);
+* the **disabled fast path**: :func:`set_metrics_enabled(False)` makes
+  both operations a single module-flag check and return, so code can
+  instrument unconditionally.
+
+Metrics live in a process-global :class:`MetricsRegistry` so any layer
+(engine scheduler, detector, recovery) can publish without plumbing; the
+CLI ``profile`` subcommand and tests read :func:`metrics_snapshot`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Module-level kill switch: the single check on every hot-path call.
+_ENABLED = True
+
+
+def set_metrics_enabled(enabled: bool) -> None:
+    """Globally enable/disable counter and histogram updates."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+#: Default histogram bounds: geometric decades from 1us to 100s, the
+#: range of everything this codebase times (bucket edges in seconds).
+DEFAULT_BOUNDS = tuple(float(b) for b in np.geomspace(1e-6, 100.0, 25))
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def summary(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram over precomputed bounds.
+
+    ``counts[i]`` holds observations in ``(bounds[i-1], bounds[i]]``;
+    the first bucket is the underflow and the last the overflow, so
+    every observation lands somewhere without branching.
+    """
+
+    __slots__ = ("name", "_bounds", "counts", "_sum", "_max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS):
+        self.name = name
+        self._bounds = np.asarray(bounds, dtype=np.float64)
+        if self._bounds.size == 0 or np.any(np.diff(self._bounds) <= 0):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = np.zeros(self._bounds.size + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        self.counts[int(np.searchsorted(self._bounds, value))] += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        n = self.count
+        return self._sum / n if n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q`` quantile."""
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = q * n
+        cumulative = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank, side="left"))
+        if bucket >= self._bounds.size:
+            return self._max
+        return float(self._bounds[bucket])
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def summary(self) -> dict:
+        return {"type": "histogram", "count": self.count,
+                "sum": self._sum, "mean": self.mean(), "max": self._max,
+                "p50": self.quantile(0.5), "p99": self.quantile(0.99)}
+
+
+class MetricsRegistry:
+    """Name -> metric mapping with get-or-create semantics."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Counter(name)
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            "not a Counter")
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, bounds)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            "not a Histogram")
+        return metric
+
+    def snapshot(self) -> dict[str, dict]:
+        """Name -> summary dict for every registered metric."""
+        return {name: metric.summary()
+                for name, metric in sorted(self._metrics.items())}
+
+    def reset(self) -> None:
+        """Zero every metric (registrations are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-global registry all convenience accessors use.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter in the global registry."""
+    return REGISTRY.counter(name)
+
+
+def histogram(name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS) -> Histogram:
+    """Get-or-create a histogram in the global registry."""
+    return REGISTRY.histogram(name, bounds)
+
+
+def metrics_snapshot() -> dict[str, dict]:
+    """Summaries of every metric in the global registry."""
+    return REGISTRY.snapshot()

@@ -34,6 +34,8 @@ import time
 
 import numpy as np
 
+from repro.observe import profile_scope
+
 
 def _ndarray_leaf_bytes(value) -> int:
     """Total bytes of every ndarray leaf in a nested list/tuple/dict."""
@@ -145,11 +147,12 @@ class Checkpoint:
 
         Fused-buffer capture when the trainer has a state arena; the
         scattered per-array walk otherwise."""
-        if getattr(trainer, "arenas", None) is not None:
-            ckpt = cls(trainer.iteration)
-            ckpt._fused = _FusedCapture(trainer)
-            return ckpt
-        return cls.capture_scattered(trainer)
+        with profile_scope("state.snapshot"):
+            if getattr(trainer, "arenas", None) is not None:
+                ckpt = cls(trainer.iteration)
+                ckpt._fused = _FusedCapture(trainer)
+                return ckpt
+            return cls.capture_scattered(trainer)
 
     @classmethod
     def capture_scattered(cls, trainer) -> "Checkpoint":
@@ -194,14 +197,16 @@ class Checkpoint:
                 f"checkpoint has {self.num_replicas} replicas, "
                 f"trainer has {len(trainer.replicas)}"
             )
-        if self._fused is not None and self._fused.restorable_into(trainer):
-            self._fused.restore(trainer)
+        with profile_scope("state.restore"):
+            if self._fused is not None and self._fused.restorable_into(trainer):
+                self._fused.restore(trainer)
+                trainer.iteration = self.iteration
+                return
+            for replica, state in zip(trainer.replicas, self.replica_states):
+                replica.load_state_dict(state)
+            trainer.optimizer.load_state_dict(
+                copy.deepcopy(self.optimizer_state))
             trainer.iteration = self.iteration
-            return
-        for replica, state in zip(trainer.replicas, self.replica_states):
-            replica.load_state_dict(state)
-        trainer.optimizer.load_state_dict(copy.deepcopy(self.optimizer_state))
-        trainer.iteration = self.iteration
 
     def nbytes(self) -> int:
         """Approximate snapshot size: every ndarray leaf, including

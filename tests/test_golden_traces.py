@@ -16,7 +16,8 @@ from pathlib import Path
 import pytest
 
 from repro.distributed import SyncDataParallelTrainer
-from repro.workloads import build_workload
+from repro.observe import ITERATION_STATS, Tracer
+from repro.workloads import build_workload, workload_names
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
 
@@ -79,3 +80,47 @@ def test_training_is_bit_identical_to_golden_trace(case):
     assert state_digest(trainer) == case["state_sha256"], (
         f"{case['workload']}: final state digest diverged from golden"
     )
+
+
+# ----------------------------------------------------------------------
+# Differential: the observability layer must be numerically invisible
+# ----------------------------------------------------------------------
+DIFFERENTIAL_ITERATIONS = 3
+
+
+def _hex_trace(record) -> dict[str, list]:
+    return {
+        attr: [None if v is None else float(v).hex()
+               for v in getattr(record, attr)]
+        for _, attr in TRACE_FIELDS
+    }
+
+
+def _run_workload(workload: str, tracer: Tracer | None):
+    spec = build_workload(workload, size="tiny", seed=0)
+    trainer = SyncDataParallelTrainer(spec, num_devices=2, seed=0,
+                                      test_every=2, tracer=tracer)
+    trainer.train(DIFFERENTIAL_ITERATIONS)
+    return trainer
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_tracing_is_numerically_invisible(workload):
+    """Every registry workload, traced vs untraced, must produce
+    bit-identical loss/accuracy/condition traces and final state: the
+    tracer only reads values the loop already computed."""
+    tracer = Tracer()
+    traced = _run_workload(workload, tracer)
+    untraced = _run_workload(workload, None)
+
+    assert _hex_trace(traced.record) == _hex_trace(untraced.record), (
+        f"{workload}: tracing perturbed the convergence record"
+    )
+    assert state_digest(traced) == state_digest(untraced), (
+        f"{workload}: tracing perturbed the final training state"
+    )
+    # And the trace itself carries the iteration statistics, bit-exact.
+    stats = tracer.events(ITERATION_STATS)
+    assert [e.iteration for e in stats] == list(range(DIFFERENTIAL_ITERATIONS))
+    assert [float(e.data["loss"]).hex() for e in stats] == \
+        [float(v).hex() for v in traced.record.train_loss]
