@@ -5,12 +5,35 @@ textual version of it.  pytest captures stdout (even file descriptor 1),
 so lines are buffered here and flushed by the ``pytest_terminal_summary``
 hook in ``benchmarks/conftest.py`` — they appear at the end of
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+
+Benchmarks can additionally persist their measurements as
+machine-readable ``BENCH_<name>.json`` artifacts (:func:`write_artifact`)
+so CI and trend tooling can track them without scraping the text.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 #: Buffered report lines, flushed at terminal summary.
 LINES: list[str] = []
+
+
+def write_artifact(name: str, data: dict) -> Path:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    The artifact lands in ``$BENCH_ARTIFACT_DIR`` (default: the current
+    working directory) and its path is echoed into the text report.
+    """
+    directory = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    emit(f"artifact -> {path}")
+    return path
 
 
 def emit(text: str = "") -> None:

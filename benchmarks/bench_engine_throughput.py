@@ -18,7 +18,7 @@ from __future__ import annotations
 import os
 import time
 
-from _report import emit, header, paper_vs_measured, table
+from _report import emit, header, paper_vs_measured, table, write_artifact
 from repro.core.faults import Campaign
 from repro.workloads import build_workload
 
@@ -67,6 +67,18 @@ def test_engine_throughput():
         measured=f"{speedup:.2f}x speedup on {cores} core(s)",
         holds=speedup >= 2.0 or cores < 4,
     )
+    write_artifact("engine_throughput", {
+        "cores": cores,
+        "experiments": EXPERIMENTS,
+        "serial_seconds": serial_s,
+        "serial_exp_per_sec": EXPERIMENTS / serial_s,
+        "parallel_workers": PARALLEL,
+        "parallel_seconds": parallel_s,
+        "parallel_exp_per_sec": EXPERIMENTS / parallel_s,
+        "speedup": speedup,
+        "deterministic_breakdown":
+            parallel_result.breakdown() == serial_result.breakdown(),
+    })
     if cores >= 4:
         assert speedup >= 2.0, (
             f"expected >=2x speedup at {PARALLEL} workers on {cores} cores, "

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 
-from _report import emit, header, paper_vs_measured, table
+from _report import emit, header, paper_vs_measured, table, write_artifact
 from repro.distributed import SyncDataParallelTrainer
 from repro.observe import (
     NULL_TRACER,
@@ -132,6 +132,16 @@ def _report_and_check(traced_ips, untraced_ips, overhead, events,
         f"{overhead * 100.0:+.2f}% per iteration with a live tracer",
         overhead <= OVERHEAD_CEILING,
     )
+    write_artifact("observe_overhead", {
+        "num_devices": num_devices,
+        "iterations": iterations,
+        "repeats": repeats,
+        "untraced_iterations_per_s": untraced_ips,
+        "traced_iterations_per_s": traced_ips,
+        "overhead_fraction": overhead,
+        "budget_fraction": OVERHEAD_CEILING,
+        "events_buffered": events,
+    })
     assert overhead <= OVERHEAD_CEILING, (
         f"tracing overhead {overhead * 100.0:.2f}% exceeds the "
         f"{OVERHEAD_CEILING * 100.0:.0f}% per-iteration budget"

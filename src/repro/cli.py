@@ -8,12 +8,15 @@ injection, evaluate the technique) as subcommands::
         --group 1 --iteration 20 --device 1
     python -m repro campaign resnet --experiments 40
     python -m repro campaign resnet --experiments 400 --parallel 4 \\
-        --store results.jsonl --resume --progress-every 20
-    python -m repro report results.jsonl
+        --store results.jsonl --resume --progress-every 20 --trace --detect
+    python -m repro report results.jsonl [--json]
+    python -m repro monitor results.jsonl --follow
+    python -m repro monitor results.jsonl --once --max-quarantine-rate 0.1
     python -m repro merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro validate --experiments 400
     python -m repro mitigate resnet --iteration 20 --trace run.trace.jsonl
     python -m repro trace run.trace.jsonl --type fault_injected
+    python -m repro trace results.trace.jsonl --analyze
     python -m repro profile resnet --iterations 20
 
 Every command prints an artifact-style text report (see
@@ -27,7 +30,12 @@ import sys
 
 from repro.accelerator.ffs import FFDescriptor
 from repro.core.analysis.classify import classify_outcome
-from repro.core.analysis.report import render_campaign, render_convergence
+from repro.core.analysis.report import (
+    campaign_report_dict,
+    render_campaign,
+    render_convergence,
+    render_trace_analysis,
+)
 from repro.core.faults import (
     Campaign,
     FaultInjector,
@@ -156,14 +164,20 @@ def cmd_campaign(args) -> int:
     if args.resume and not args.store:
         print("--resume requires --store", file=sys.stderr)
         return 2
+    if args.trace and not args.store:
+        print("--trace requires --store (shards and the merged campaign "
+              "trace live next to it)", file=sys.stderr)
+        return 2
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
-                        test_every=max(spec.iterations // 6, 1))
+                        test_every=max(spec.iterations // 6, 1),
+                        detect=args.detect)
     result = campaign.run(
         args.experiments, seed=args.campaign_seed,
         parallel=args.parallel, store=args.store, resume=args.resume,
         timeout=args.timeout, max_retries=args.retries,
-        on_progress=_progress_printer(args.progress_every))
+        on_progress=_progress_printer(args.progress_every),
+        trace=args.trace)
     print(render_campaign(result))
     report = result.engine_report
     if report is not None:
@@ -174,11 +188,15 @@ def cmd_campaign(args) -> int:
               f"{args.parallel} worker{'s' if args.parallel != 1 else ''})")
     if args.store:
         print(f"result store: {args.store}")
+    if report is not None and report.trace_path is not None:
+        print(f"campaign trace: {report.trace_path}")
     return 0
 
 
 def cmd_report(args) -> int:
     """``repro report``: summarize a persistent result store."""
+    import json
+
     from repro.engine import EXPERIMENT, QUARANTINE, read_records, store_to_campaign
 
     records = read_records(args.store)
@@ -187,6 +205,29 @@ def cmd_report(args) -> int:
     experiments = [r for r in records[1:] if r["record"] == EXPERIMENT]
     quarantined = [r for r in records[1:] if r["record"] == QUARANTINE]
     meta = header.get("meta") or {}
+    if args.json:
+        payload = {
+            "store": str(args.store),
+            "kind": kind,
+            "schema": header.get("schema"),
+            "meta": meta,
+            "experiments": len(experiments),
+            "quarantined": {r["key"]: r.get("error", "")
+                            for r in quarantined},
+        }
+        if kind == "campaign":
+            payload["report"] = campaign_report_dict(
+                store_to_campaign(args.store))
+        elif kind == "inference":
+            n = max(len(experiments), 1)
+            payload["report"] = {
+                "sdc_rate": sum(bool(r["payload"].get("sdc"))
+                                for r in experiments) / n,
+                "nonfinite_rate": sum(bool(r["payload"].get("nonfinite"))
+                                      for r in experiments) / n,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"# store: {args.store}")
     print(f"kind {kind}, schema {header.get('schema')}, "
           f"{len(experiments)} experiments, {len(quarantined)} quarantined")
@@ -262,6 +303,12 @@ def cmd_trace(args) -> int:
     if trace.truncated:
         print("WARNING: final line truncated (writer killed mid-record); "
               "all complete events above were recovered", file=sys.stderr)
+    if args.analyze:
+        from repro.observe import analysis
+
+        print()
+        print(render_trace_analysis(analysis.campaign_summary(trace)))
+        return 0
     if args.summary:
         print()
         for event_type, count in sorted(trace.type_counts().items(),
@@ -284,6 +331,54 @@ def cmd_trace(args) -> int:
     print()
     for event in shown:
         print(event.render())
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """``repro monitor``: live dashboard over a store + worker shards."""
+    import time
+    from pathlib import Path
+
+    from repro.engine import (
+        collect,
+        evaluate_alerts,
+        render_html,
+        render_markdown,
+        render_text,
+    )
+
+    def observe():
+        state = collect(args.store, stall_after=args.stall_after)
+        evaluate_alerts(state,
+                        max_quarantine_rate=args.max_quarantine_rate,
+                        max_divergence_rate=args.max_divergence_rate)
+        return state
+
+    state = observe()
+    if args.follow:
+        try:
+            while True:
+                print(render_text(state), flush=True)
+                if state.total is not None \
+                        and state.attempted >= state.total:
+                    break
+                time.sleep(args.interval)
+                state = observe()
+                print(flush=True)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+    else:
+        print(render_text(state))
+    if args.html:
+        Path(args.html).write_text(render_html(state), encoding="utf-8")
+        print(f"html dashboard -> {args.html}")
+    if args.markdown:
+        Path(args.markdown).write_text(render_markdown(state),
+                                       encoding="utf-8")
+        print(f"markdown snapshot -> {args.markdown}")
+    if state.alerts:
+        print("monitor: " + "; ".join(state.alerts), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -377,12 +472,50 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="print a progress/telemetry line to stderr "
                                "every N completed experiments (default: off)")
+    campaign.add_argument("--trace", action="store_true",
+                          help="flight recorder: stream every worker's "
+                               "events into trace shards next to --store, "
+                               "merged into one campaign trace at the end")
+    campaign.add_argument("--detect", action="store_true",
+                          help="attach the Sec. 5.1 detector (observe-only) "
+                               "to every experiment so detector_fired "
+                               "events land in the campaign trace")
     campaign.set_defaults(func=cmd_campaign)
 
     report = sub.add_parser("report",
                             help="summarize a persistent result store")
     report.add_argument("store", help="path of a JSONL result store")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable JSON mirroring the text "
+                             "report")
     report.set_defaults(func=cmd_report)
+
+    monitor = sub.add_parser("monitor",
+                             help="live dashboard over a result store and "
+                                  "its worker trace shards")
+    monitor.add_argument("store", help="path of a JSONL result store")
+    mode = monitor.add_mutually_exclusive_group()
+    mode.add_argument("--once", action="store_true",
+                      help="render one observation and exit (default)")
+    mode.add_argument("--follow", action="store_true",
+                      help="keep rendering until the campaign completes")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="--follow refresh interval in seconds "
+                              "(default: 2)")
+    monitor.add_argument("--html", metavar="PATH",
+                         help="also write a static HTML dashboard to PATH")
+    monitor.add_argument("--markdown", metavar="PATH",
+                         help="also write a markdown snapshot to PATH")
+    monitor.add_argument("--stall-after", type=float, metavar="S",
+                         help="flag a worker as stalled after S seconds "
+                              "without a shard write while busy")
+    monitor.add_argument("--max-quarantine-rate", type=float, metavar="R",
+                         help="exit nonzero when quarantined/(attempted) "
+                              "exceeds R")
+    monitor.add_argument("--max-divergence-rate", type=float, metavar="R",
+                         help="exit nonzero when the INF/NaN outcome "
+                              "fraction exceeds R")
+    monitor.set_defaults(func=cmd_monitor)
 
     merge = sub.add_parser("merge",
                            help="merge partial result stores (dedup by key)")
@@ -419,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="show only the last N matching events")
     trace.add_argument("--summary", action="store_true",
                        help="print per-type event counts instead of lines")
+    trace.add_argument("--analyze", action="store_true",
+                       help="campaign-level analytics (detection latencies, "
+                            "Table 4 tallies, phase vulnerability)")
     trace.set_defaults(func=cmd_trace)
 
     profile = sub.add_parser("profile",

@@ -17,6 +17,16 @@ from repro.core.analysis.propagation import (
     ConditionOnset,
     PropagationTrace,
     PropagationTracer,
+    condition_magnitude_in_window,
+    condition_onsets,
+)
+from repro.core.analysis.report import (
+    campaign_report_dict,
+    convergence_report_dict,
+    render_campaign,
+    render_convergence,
+    render_propagation_report,
+    render_trace_analysis,
 )
 from repro.core.analysis.stats import (
     ProportionEstimate,
@@ -34,12 +44,20 @@ __all__ = [
     "PropagationTrace",
     "PropagationTracer",
     "ProportionEstimate",
+    "campaign_report_dict",
     "classify_outcome",
+    "condition_magnitude_in_window",
+    "condition_onsets",
+    "convergence_report_dict",
     "decompose_phases",
     "decompose_phases_vs_reference",
     "expected_stagnation_iterations",
     "experiments_for_interval",
     "outcome_breakdown",
+    "render_campaign",
+    "render_convergence",
+    "render_propagation_report",
+    "render_trace_analysis",
     "unobserved_outcome_bound",
     "wilson_interval",
 ]

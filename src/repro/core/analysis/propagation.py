@@ -53,6 +53,62 @@ class ConditionOnset:
     latency_from_fault: int
 
 
+def condition_onsets(
+    trace: PropagationTrace, fault_iteration: int,
+    threshold_factor: float = 100.0,
+) -> list[ConditionOnset]:
+    """Find where each necessary condition fired after the fault.
+
+    A condition "fires" when its magnitude exceeds ``threshold_factor``
+    times its pre-fault baseline (the fault-free magnitudes are small
+    and stable; faulty values in the paper's Table 4 are 8-38 orders
+    of magnitude above them, so the factor is uncritical).
+
+    Works on any :class:`PropagationTrace` — one filled live by a
+    :class:`PropagationTracer` hook, or one rebuilt after the fact from
+    a structured trace's ``iteration_stats`` events
+    (:func:`repro.observe.analysis.propagation_trace`).
+    """
+    onsets: list[ConditionOnset] = []
+    arrays = trace.as_arrays()
+    iters = arrays["iterations"]
+    for condition, key in (("gradient_history", "max_history"), ("mvar", "max_mvar")):
+        series = arrays[key]
+        pre = series[iters < fault_iteration]
+        baseline = float(pre.max()) if pre.size else 1.0
+        baseline = max(baseline, 1e-12)
+        post_mask = iters >= fault_iteration
+        post_iters = iters[post_mask]
+        post_vals = series[post_mask]
+        exceeded = post_vals > baseline * threshold_factor
+        if exceeded.any():
+            idx = int(np.argmax(exceeded))
+            onsets.append(
+                ConditionOnset(
+                    condition=condition,
+                    iteration=int(post_iters[idx]),
+                    magnitude=float(post_vals[idx]),
+                    latency_from_fault=int(post_iters[idx]) - int(fault_iteration),
+                )
+            )
+    return onsets
+
+
+def condition_magnitude_in_window(
+    trace: PropagationTrace, fault_iteration: int, window: int = 2
+) -> dict[str, float]:
+    """Max |history| and |mvar| within ``window`` iterations of the
+    fault — the quantities whose ranges Table 4 reports."""
+    arrays = trace.as_arrays()
+    iters = arrays["iterations"]
+    mask = (iters >= fault_iteration) & (iters <= fault_iteration + window)
+    out = {}
+    for key in ("max_history", "max_mvar"):
+        vals = arrays[key][mask]
+        out[key] = float(vals.max()) if vals.size else 0.0
+    return out
+
+
 class PropagationTracer:
     """Trainer hook that fills a :class:`PropagationTrace`."""
 
@@ -69,52 +125,15 @@ class PropagationTracer:
         self.trace.max_mvar.append(trainer.mvar_magnitude())
 
     # ------------------------------------------------------------------
-    # Condition detection
+    # Condition detection (delegates to the module-level functions so
+    # trace-derived PropagationTrace objects share the same code path)
     # ------------------------------------------------------------------
     def condition_onsets(
         self, fault_iteration: int, threshold_factor: float = 100.0
     ) -> list[ConditionOnset]:
-        """Find where each necessary condition fired after the fault.
-
-        A condition "fires" when its magnitude exceeds ``threshold_factor``
-        times its pre-fault baseline (the fault-free magnitudes are small
-        and stable; faulty values in the paper's Table 4 are 8-38 orders
-        of magnitude above them, so the factor is uncritical).
-        """
-        onsets: list[ConditionOnset] = []
-        trace = self.trace.as_arrays()
-        iters = trace["iterations"]
-        for condition, key in (("gradient_history", "max_history"), ("mvar", "max_mvar")):
-            series = trace[key]
-            pre = series[iters < fault_iteration]
-            baseline = float(pre.max()) if pre.size else 1.0
-            baseline = max(baseline, 1e-12)
-            post_mask = iters >= fault_iteration
-            post_iters = iters[post_mask]
-            post_vals = series[post_mask]
-            exceeded = post_vals > baseline * threshold_factor
-            if exceeded.any():
-                idx = int(np.argmax(exceeded))
-                onsets.append(
-                    ConditionOnset(
-                        condition=condition,
-                        iteration=int(post_iters[idx]),
-                        magnitude=float(post_vals[idx]),
-                        latency_from_fault=int(post_iters[idx]) - int(fault_iteration),
-                    )
-                )
-        return onsets
+        return condition_onsets(self.trace, fault_iteration, threshold_factor)
 
     def condition_magnitude_in_window(
         self, fault_iteration: int, window: int = 2
     ) -> dict[str, float]:
-        """Max |history| and |mvar| within ``window`` iterations of the
-        fault — the quantities whose ranges Table 4 reports."""
-        trace = self.trace.as_arrays()
-        iters = trace["iterations"]
-        mask = (iters >= fault_iteration) & (iters <= fault_iteration + window)
-        out = {}
-        for key in ("max_history", "max_mvar"):
-            vals = trace[key][mask]
-            out[key] = float(vals.max()) if vals.size else 0.0
-        return out
+        return condition_magnitude_in_window(self.trace, fault_iteration, window)

@@ -5,12 +5,23 @@ loss/accuracy per iteration and flagged anomalies.  This module renders
 equivalent human-readable summaries for :class:`ConvergenceRecord` and
 :class:`CampaignResult` objects, so examples and operators can inspect
 experiments without plotting.
+
+Each text renderer has a ``*_dict`` twin returning the same content as
+a JSON-safe dict (the CLI's ``--json`` output), and the trace-analysis
+renderers work on the plain dicts produced by
+:mod:`repro.observe.analysis`, so a single merged campaign trace can be
+turned into Fig. 4-style propagation stories and Table 4 tallies
+without re-running anything.
 """
 
 from __future__ import annotations
 
-from repro.core.faults.campaign import CampaignResult
+from typing import TYPE_CHECKING
+
 from repro.training.metrics import ConvergenceRecord
+
+if TYPE_CHECKING:  # import cycle: campaign.py imports sibling modules
+    from repro.core.faults.campaign import CampaignResult
 
 
 def render_convergence(record: ConvergenceRecord, every: int = 1,
@@ -59,4 +70,152 @@ def render_campaign(result: CampaignResult) -> str:
         lines.append("## necessary-condition ranges (Table 4)")
         for outcome, (lo, hi) in ranges.items():
             lines.append(f"  {outcome:<24s} {lo:.3e} .. {hi:.3e}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON mirrors of the text reports (the CLI's --json output)
+# ----------------------------------------------------------------------
+def convergence_report_dict(record: ConvergenceRecord) -> dict:
+    """:func:`render_convergence` as a JSON-safe dict."""
+    return {
+        "iterations": [int(i) for i in record.iterations],
+        "train_loss": [float(v) for v in record.train_loss],
+        "train_acc": [float(v) for v in record.train_acc],
+        "test_iterations": [int(i) for i in record.test_iterations],
+        "test_acc": [float(v) for v in record.test_acc],
+        "nonfinite_at": record.nonfinite_at,
+        "detections": [int(i) for i in record.detections],
+        "recoveries": [int(i) for i in record.recoveries],
+    }
+
+
+def campaign_report_dict(result: CampaignResult) -> dict:
+    """:func:`render_campaign` as a JSON-safe dict."""
+    interval = result.unexpected_interval()
+    return {
+        "workload": result.workload,
+        "num_experiments": result.num_experiments,
+        "breakdown": {k: float(v) for k, v in result.breakdown().items()},
+        "unexpected_rate": float(result.unexpected_fraction()),
+        "unexpected_interval": {"low": float(interval.low),
+                                "high": float(interval.high),
+                                "confidence": float(interval.confidence)},
+        "by_ff_category": result.by_ff_category(),
+        "condition_ranges": {k: [float(lo), float(hi)]
+                             for k, (lo, hi) in
+                             result.condition_ranges().items()},
+    }
+
+
+# ----------------------------------------------------------------------
+# Trace-analysis renderers (dicts from repro.observe.analysis)
+# ----------------------------------------------------------------------
+def render_propagation_report(summary: dict) -> str:
+    """Fig. 4-style propagation story for one traced experiment.
+
+    ``summary`` is an :func:`repro.observe.analysis.experiment_summary`
+    dict.  Attribution stamps (experiment key, engine outcome) are
+    deliberately not rendered, so the same experiment produces the
+    identical report whether it was traced through engine workers or in
+    a direct run.
+    """
+    lines = []
+    fault = summary.get("fault")
+    if fault is None:
+        lines.append("# propagation: no fault_injected event in trace")
+    else:
+        lines.append(
+            f"# propagation: fault @ iter {fault['iteration']} "
+            f"(site {fault.get('site')}, kind {fault.get('kind')}, "
+            f"op {fault.get('op')}, ff {fault.get('ff_category')}, "
+            f"device {fault.get('device')})")
+        lines.append(
+            f"fault model {fault.get('model')}: "
+            f"{fault.get('num_faulty')} elements, "
+            f"max |value| {float(fault.get('max_abs_faulty') or 0.0):.3e}")
+    for i, iteration in enumerate(summary["iterations"]):
+        lines.append(
+            f"iter {iteration:>5d}  loss {summary['loss'][i]:>12.4e}  "
+            f"|history| {summary['max_history'][i]:>10.3e}  "
+            f"|mvar| {summary['max_mvar'][i]:>10.3e}")
+    if summary["onsets"]:
+        lines.append("condition onsets:")
+        for onset in summary["onsets"]:
+            lines.append(
+                f"  {onset['condition']} @ iter {onset['iteration']} "
+                f"(latency {onset['latency_from_fault']}, "
+                f"magnitude {onset['magnitude']:.3e})")
+    window = summary.get("condition_window") or {}
+    if window:
+        lines.append(
+            "necessary-condition window: "
+            + "  ".join(f"{k}={v:.3e}" for k, v in sorted(window.items())))
+    for detection in summary["detections"]:
+        lines.append(
+            f"!! detector fired @ iter {detection['iteration']} "
+            f"({detection['condition']}, "
+            f"magnitude {float(detection['magnitude'] or 0.0):.3e})")
+    if summary["detection_latency"] is not None:
+        lines.append(f"detection latency: "
+                     f"{summary['detection_latency']} iterations")
+    for rollback in summary["rollbacks"]:
+        lines.append(f">> rollback @ iter {rollback['iteration']} "
+                     f"({rollback['strategy']})")
+    if summary["divergence_at"] is not None:
+        lines.append(f"!! divergence at iteration {summary['divergence_at']}")
+    return "\n".join(lines)
+
+
+def render_trace_analysis(summary: dict) -> str:
+    """Campaign-level analytics of a merged trace, artifact-style.
+
+    ``summary`` is a :func:`repro.observe.analysis.campaign_summary`
+    dict (detection latencies, Table 4 tallies, phase vulnerability).
+    """
+    lines = [f"# campaign trace analysis: {summary['experiments']} "
+             f"experiments ({summary['with_fault']} with fault)"]
+    if summary["outcomes"]:
+        lines.append("## outcomes")
+        for outcome, count in sorted(summary["outcomes"].items(),
+                                     key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {outcome:<24s} {count:>6}")
+    mean = summary["mean_detection_latency"]
+    lines.append(
+        f"## detection: {summary['detected']}/{summary['with_fault']} "
+        f"faults detected"
+        + (f", mean latency {mean:.2f} iterations" if mean is not None
+           else ""))
+    if summary["latency_histogram"]:
+        lines.append("## detection-latency histogram (iterations -> count)")
+        for latency, count in summary["latency_histogram"].items():
+            lines.append(f"  {latency:>4}  {'#' * count} ({count})")
+    tallies = summary["condition_tallies"]
+    lines.append(f"## necessary conditions (Table 4, "
+                 f"window {tallies['window']})")
+    lines.append(
+        f"  onsets: {tallies['onset_any']}/{tallies['experiments']} "
+        f"experiments, {tallies['onset_within_window']} within "
+        f"{tallies['window']} iterations of the fault")
+    for outcome, tally in tallies["by_outcome"].items():
+        line = (f"  {outcome:<24s} count {tally['count']:>4}  "
+                f"fired {tally['condition_fired']:>4}")
+        if tally["history_range"] is not None:
+            lo, hi = tally["history_range"]
+            line += f"  |history| {lo:.3e} .. {hi:.3e}"
+        if tally["mvar_range"] is not None:
+            lo, hi = tally["mvar_range"]
+            line += f"  |mvar| {lo:.3e} .. {hi:.3e}"
+        lines.append(line)
+    lines.append("## vulnerability by training phase")
+    for bucket in summary["phase_vulnerability"]:
+        lines.append(
+            f"  phase {bucket['phase']} "
+            f"[{bucket['start']:>4}, {bucket['end']:>4})  "
+            f"{bucket['experiments']:>4} experiments  "
+            f"{bucket['unexpected']:>4} unexpected "
+            f"({bucket['unexpected_rate']:.0%})  "
+            f"{bucket['detected']:>4} detected")
+    if summary["divergences"]:
+        lines.append(f"## divergences observed: {summary['divergences']}")
     return "\n".join(lines)

@@ -154,6 +154,7 @@ class Campaign:
         inventory: FFInventory | None = None,
         site_kinds: tuple[str, ...] = SITE_KINDS,
         keep_records: bool = False,
+        detect: bool = False,
     ):
         self.spec = spec
         self.num_devices = int(num_devices)
@@ -170,6 +171,11 @@ class Campaign:
         self.inventory = inventory or FFInventory()
         self.site_kinds = site_kinds
         self.keep_records = bool(keep_records)
+        #: Attach a Sec. 5.1 :class:`HardwareFailureDetector` to every
+        #: experiment.  The detector only *reads* trainer state, so
+        #: outcomes are unchanged; with tracing on, its firings land in
+        #: the campaign trace as ``detector_fired`` events.
+        self.detect = bool(detect)
         self._snapshot: Checkpoint | None = None
         self._warmup_record: ConvergenceRecord | None = None
         self._site_model = None
@@ -178,13 +184,15 @@ class Campaign:
     # ------------------------------------------------------------------
     # Baseline preparation
     # ------------------------------------------------------------------
-    def _new_trainer(self, eval_device: int = 0) -> SyncDataParallelTrainer:
+    def _new_trainer(self, eval_device: int = 0,
+                     tracer=None) -> SyncDataParallelTrainer:
         return SyncDataParallelTrainer(
             self.spec,
             num_devices=self.num_devices,
             seed=self.seed,
             test_every=self.test_every,
             eval_device=eval_device,
+            tracer=tracer,
         )
 
     def _ensure_site_model(self) -> None:
@@ -223,15 +231,29 @@ class Campaign:
         fault.iteration += self.warmup_iterations
         return fault
 
-    def run_experiment(self, fault: HardwareFault) -> ExperimentResult:
-        """Restore the baseline, inject, train to the horizon, classify."""
+    def run_experiment(self, fault: HardwareFault,
+                       tracer=None) -> ExperimentResult:
+        """Restore the baseline, inject, train to the horizon, classify.
+
+        ``tracer`` is the experiment's event sink; when omitted, the
+        process-wide :func:`~repro.observe.current_tracer` is used — that
+        is how engine workers capture every experiment into their shard
+        without the payload-agnostic engine threading a tracer through.
+        """
+        from repro.core.mitigation.detector import HardwareFailureDetector
+        from repro.observe import current_tracer
+
         self.prepare()
-        trainer = self._new_trainer(eval_device=fault.device)
+        if tracer is None:
+            tracer = current_tracer()
+        trainer = self._new_trainer(eval_device=fault.device, tracer=tracer)
         self._snapshot.restore(trainer)
         injector = FaultInjector(fault)
-        tracer = PropagationTracer()
+        ptracer = PropagationTracer()
         trainer.add_hook(injector)
-        trainer.add_hook(tracer)
+        trainer.add_hook(ptracer)
+        if self.detect:
+            trainer.add_hook(HardwareFailureDetector())
         remaining = self.warmup_iterations + self.horizon - trainer.iteration
         trainer.train(remaining)
         report = classify_outcome(
@@ -243,7 +265,7 @@ class Campaign:
             report=report,
             num_faulty_elements=record.num_faulty if record else 0,
             max_abs_faulty=record.max_abs_faulty() if record else 0.0,
-            condition_window=tracer.condition_magnitude_in_window(fault.iteration),
+            condition_window=ptracer.condition_magnitude_in_window(fault.iteration),
             record=trainer.record if self.keep_records else None,
         )
 
@@ -290,7 +312,8 @@ class Campaign:
     def run(self, num_experiments: int, seed: int = 1234, *,
             parallel: int = 1, store=None, resume: bool = False,
             timeout: float | None = None, max_retries: int = 2,
-            on_progress=None, tracer=None) -> CampaignResult:
+            on_progress=None, tracer=None,
+            trace: bool = False) -> CampaignResult:
         """Run ``num_experiments`` seeded experiments and aggregate.
 
         Execution is delegated to :class:`repro.engine.CampaignEngine`:
@@ -298,8 +321,12 @@ class Campaign:
         ``store`` streams results into a persistent
         :class:`~repro.engine.store.ResultStore` (a path or an open
         store), and ``resume=True`` skips experiments the store already
-        holds.  Experiments are fully seeded, so the aggregate outcome
-        breakdown is identical at any worker count.
+        holds.  ``trace=True`` turns on the flight recorder: every
+        worker streams its experiments' events into a shard next to the
+        store, merged into one campaign trace at the end of the run
+        (``EngineReport.trace_path``).  Experiments are fully seeded, so
+        the aggregate outcome breakdown is identical at any worker
+        count.
         """
         from repro.core.faults.serialization import experiment_from_dict
         from repro.engine import CampaignEngine, EngineConfig, ResultStore
@@ -331,7 +358,7 @@ class Campaign:
         engine = CampaignEngine(
             self._engine_runner,
             EngineConfig(parallel=int(parallel), timeout=timeout,
-                         max_retries=int(max_retries)),
+                         max_retries=int(max_retries), trace=trace),
             store=store_obj, on_progress=on_progress, tracer=tracer)
         try:
             report = engine.run(self._work_units(faults))

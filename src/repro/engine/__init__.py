@@ -12,6 +12,16 @@ progress telemetry (throughput, outcome breakdown, ETA, worker health).
 here; the engine itself is payload-agnostic.
 """
 
+from repro.engine.monitor import (
+    DIVERGENCE_OUTCOMES,
+    MonitorState,
+    WorkerShard,
+    collect,
+    evaluate_alerts,
+    render_html,
+    render_markdown,
+    render_text,
+)
 from repro.engine.scheduler import CampaignEngine, EngineConfig, EngineReport
 from repro.engine.store import (
     EXPERIMENT,
@@ -27,9 +37,10 @@ from repro.engine.store import (
     store_to_campaign,
 )
 from repro.engine.telemetry import ProgressSnapshot, ProgressTracker, WorkerHealth
-from repro.engine.worker import WorkUnit
+from repro.engine.worker import UnitCapture, WorkUnit
 
 __all__ = [
+    "DIVERGENCE_OUTCOMES",
     "EXPERIMENT",
     "HEADER",
     "QUARANTINE",
@@ -37,15 +48,23 @@ __all__ = [
     "CampaignEngine",
     "EngineConfig",
     "EngineReport",
+    "MonitorState",
     "ProgressSnapshot",
     "ProgressTracker",
     "ResultStore",
     "StoreFormatError",
     "StoreSchemaError",
+    "UnitCapture",
     "WorkUnit",
     "WorkerHealth",
+    "WorkerShard",
+    "collect",
+    "evaluate_alerts",
     "experiment_key",
     "merge_stores",
     "read_records",
+    "render_html",
+    "render_markdown",
+    "render_text",
     "store_to_campaign",
 ]

@@ -28,17 +28,23 @@ import multiprocessing as mp
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.engine import worker as worker_proto
 from repro.engine.store import ResultStore
 from repro.engine.telemetry import ProgressSnapshot, ProgressTracker
-from repro.engine.worker import WorkUnit, worker_main
+from repro.engine.worker import UnitCapture, WorkUnit, worker_main
 from repro.observe import (
     EXPERIMENT_COMPLETED,
     EXPERIMENT_QUARANTINED,
     NULL_TRACER,
+    Tracer,
+    campaign_trace_path,
     counter,
+    merge_campaign_shards,
     profile_scope,
+    set_current_tracer,
+    shard_path,
 )
 
 
@@ -58,6 +64,10 @@ class EngineConfig:
     poll_interval: float = 0.05
     #: How the result payload maps to an outcome label for telemetry.
     outcome_field: str = "outcome"
+    #: Flight recorder: every worker streams its events into a private
+    #: shard file next to the result store (required), merged into one
+    #: campaign trace when the run ends.
+    trace: bool = False
 
 
 @dataclass
@@ -76,6 +86,8 @@ class EngineReport:
     retries: int = 0
     elapsed: float = 0.0
     snapshot: ProgressSnapshot | None = None
+    #: Merged campaign trace (EngineConfig.trace runs only).
+    trace_path: Path | None = None
 
 
 @dataclass
@@ -89,7 +101,9 @@ class _Task:
 class _WorkerHandle:
     """Parent-side state for one worker process."""
 
-    def __init__(self, worker_id: int, ctx, runner_factory, result_queue):
+    def __init__(self, worker_id: int, ctx, runner_factory, result_queue,
+                 trace_path: Path | None = None,
+                 outcome_field: str = "outcome"):
         self.id = worker_id
         self.queue = ctx.Queue()
         self.ready = False
@@ -97,7 +111,8 @@ class _WorkerHandle:
         self.deadline: float | None = None
         self.process = ctx.Process(
             target=worker_main,
-            args=(worker_id, runner_factory, self.queue, result_queue),
+            args=(worker_id, runner_factory, self.queue, result_queue,
+                  trace_path, outcome_field),
             daemon=True,
         )
         self.process.start()
@@ -139,6 +154,16 @@ class CampaignEngine:
     def run(self, units: list[WorkUnit]) -> EngineReport:
         start = time.monotonic()
         report = EngineReport()
+        self._trace_dir: Path | None = None
+        if self.config.trace:
+            if self.store is None:
+                raise ValueError(
+                    "EngineConfig.trace requires a result store: worker "
+                    "shards and the merged campaign trace live next to it")
+            self._trace_dir = self.store.path.parent
+            # Fold shards a killed session left behind into the campaign
+            # trace before this session's workers reuse the filenames.
+            merge_campaign_shards(self.store.path)
         pending: deque[_Task] = deque()
         for unit in units:
             if self.store is not None and unit.key in self.store:
@@ -151,7 +176,8 @@ class CampaignEngine:
             else:
                 pending.append(_Task(unit))
 
-        tracker = ProgressTracker(total=len(units), skipped=report.skipped)
+        tracker = ProgressTracker(total=len(units), skipped=report.skipped,
+                                  stall_timeout=self.config.timeout)
         field_name = self.config.outcome_field
         tracker.preload_breakdown([
             payload[field_name] for payload in report.results.values()
@@ -166,6 +192,13 @@ class CampaignEngine:
         finally:
             report.elapsed = time.monotonic() - start
             report.snapshot = tracker.snapshot()
+            if self._trace_dir is not None:
+                merged = merge_campaign_shards(self.store.path)
+                if merged is not None:
+                    report.trace_path = merged.dest
+                else:
+                    existing = campaign_trace_path(self.store.path)
+                    report.trace_path = existing if existing.exists() else None
         return report
 
     # ------------------------------------------------------------------
@@ -221,24 +254,45 @@ class CampaignEngine:
                     tracker: ProgressTracker) -> None:
         """In-process execution.  Deadlines are not enforced (a wedged
         experiment cannot be preempted without a worker process), but
-        retry/quarantine/resume semantics match the parallel path."""
-        runner = self.runner_factory()
-        while pending:
-            task = pending.popleft()
-            wait = task.not_before - time.monotonic()
-            if wait > 0:
-                time.sleep(wait)
-            tracker.task_started(0, task.unit.key)
-            try:
-                with profile_scope("engine.experiment"):
-                    payload = runner(task.unit.payload)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:  # noqa: BLE001 - retry policy owns this
-                self._fail(task, f"{type(exc).__name__}: {exc}", pending,
-                           report, tracker, worker_id=0)
-                continue
-            self._complete(task, payload, report, tracker, worker_id=0)
+        retry/quarantine/resume and flight-recorder semantics match the
+        parallel path (the in-process runner records as worker 0)."""
+        shard_tracer: Tracer | None = None
+        capture: UnitCapture | None = None
+        previous_tracer = None
+        if self._trace_dir is not None:
+            shard_tracer = Tracer(stream=shard_path(self._trace_dir, 0),
+                                  meta={"worker": 0})
+            previous_tracer = set_current_tracer(shard_tracer)
+            capture = UnitCapture(shard_tracer, 0, self.config.outcome_field)
+        try:
+            runner = self.runner_factory()
+            while pending:
+                task = pending.popleft()
+                wait = task.not_before - time.monotonic()
+                if wait > 0:
+                    time.sleep(wait)
+                tracker.task_started(0, task.unit.key)
+                if capture is not None:
+                    capture.start(task.unit.key)
+                try:
+                    with profile_scope("engine.experiment"):
+                        payload = runner(task.unit.payload)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - retry policy owns this
+                    error = f"{type(exc).__name__}: {exc}"
+                    if capture is not None:
+                        capture.error(error)
+                    self._fail(task, error, pending, report, tracker,
+                               worker_id=0)
+                    continue
+                if capture is not None:
+                    capture.done(payload)
+                self._complete(task, payload, report, tracker, worker_id=0)
+        finally:
+            if shard_tracer is not None:
+                set_current_tracer(previous_tracer)
+                shard_tracer.close()
 
     # ------------------------------------------------------------------
     # Parallel execution
@@ -262,8 +316,11 @@ class CampaignEngine:
 
         def spawn() -> None:
             nonlocal next_worker_id
+            trace_path = (shard_path(self._trace_dir, next_worker_id)
+                          if self._trace_dir is not None else None)
             handle = _WorkerHandle(next_worker_id, ctx, self.runner_factory,
-                                   result_queue)
+                                   result_queue, trace_path=trace_path,
+                                   outcome_field=self.config.outcome_field)
             workers[handle.id] = handle
             next_worker_id += 1
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 #: Current on-disk schema version.  Bump on any incompatible change to
@@ -126,10 +127,14 @@ class ResultStore:
         os.fsync(self._fh.fileno())
 
     def append(self, key: str, payload: dict) -> None:
-        """Persist one completed experiment (idempotent per key)."""
+        """Persist one completed experiment (idempotent per key).
+
+        Records carry a wall-clock ``ts`` stamp (additive; absent in
+        older stores) so monitors can compute session throughput."""
         if key in self.completed:
             return
-        self._write({"record": EXPERIMENT, "key": key, "payload": payload})
+        self._write({"record": EXPERIMENT, "key": key, "payload": payload,
+                     "ts": time.time()})
         self.completed[key] = payload
 
     def quarantine(self, key: str, error: str,
@@ -138,7 +143,7 @@ class ResultStore:
         if key in self.quarantined:
             return
         self._write({"record": QUARANTINE, "key": key, "error": error,
-                     "payload": payload})
+                     "payload": payload, "ts": time.time()})
         self.quarantined[key] = error
         self.quarantine_payloads[key] = payload
 

@@ -26,6 +26,9 @@ class WorkerHealth:
     busy_key: str | None = None
     #: Monotonic time the current experiment started (None when idle).
     busy_since: float | None = None
+    #: Seconds the current experiment has been running, filled at
+    #: snapshot time (0.0 when idle) so consumers need no clock.
+    busy_elapsed_s: float = 0.0
 
     def busy_elapsed(self, now: float) -> float:
         return 0.0 if self.busy_since is None else now - self.busy_since
@@ -48,10 +51,22 @@ class ProgressSnapshot:
     #: Outcome label -> count over everything completed so far.
     breakdown: dict[str, int]
     workers: dict[int, WorkerHealth] = field(default_factory=dict)
+    #: Busy time beyond which a worker counts as stalled (typically the
+    #: engine's per-experiment timeout); None disables stall flagging.
+    stall_timeout: float | None = None
 
     @property
     def remaining(self) -> int:
         return max(self.total - self.done - self.quarantined, 0)
+
+    def stalled_workers(self) -> list[int]:
+        """Ids of workers whose current experiment exceeds the stall
+        timeout — a wedged experiment the engine has not yet preempted."""
+        if self.stall_timeout is None:
+            return []
+        return sorted(wid for wid, w in self.workers.items()
+                      if w.busy_key is not None
+                      and w.busy_elapsed_s > self.stall_timeout)
 
     def render(self) -> str:
         """One status line, suitable for streaming to a terminal."""
@@ -75,6 +90,10 @@ class ProgressSnapshot:
             detail = f"workers {busy}/{alive} busy"
             if restarts:
                 detail += f", {restarts} restarts"
+            stalled = self.stalled_workers()
+            if stalled:
+                detail += (", STALLED: "
+                           + ",".join(f"w{wid}" for wid in stalled))
             parts.append(detail)
         return "[engine] " + " | ".join(parts)
 
@@ -88,9 +107,10 @@ class ProgressTracker:
     """
 
     def __init__(self, total: int, skipped: int = 0,
-                 clock=time.monotonic):
+                 clock=time.monotonic, stall_timeout: float | None = None):
         self.total = int(total)
         self.skipped = int(skipped)
+        self.stall_timeout = stall_timeout
         self._clock = clock
         self._start = clock()
         self.session_done = 0
@@ -140,11 +160,17 @@ class ProgressTracker:
     # Observation
     # ------------------------------------------------------------------
     def snapshot(self) -> ProgressSnapshot:
-        elapsed = self._clock() - self._start
+        now = self._clock()
+        elapsed = now - self._start
         throughput = self.session_done / elapsed if elapsed > 0 else 0.0
         done = self.skipped + self.session_done
         remaining = max(self.total - done - self.quarantined, 0)
         eta = remaining / throughput if throughput > 0 else None
+        workers = {}
+        for wid, w in self.workers.items():
+            copy = WorkerHealth(**vars(w))
+            copy.busy_elapsed_s = w.busy_elapsed(now)
+            workers[wid] = copy
         return ProgressSnapshot(
             total=self.total,
             done=done,
@@ -155,6 +181,6 @@ class ProgressTracker:
             throughput=throughput,
             eta=eta,
             breakdown=dict(self.breakdown),
-            workers={wid: WorkerHealth(**vars(w))
-                     for wid, w in self.workers.items()},
+            workers=workers,
+            stall_timeout=self.stall_timeout,
         )

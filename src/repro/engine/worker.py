@@ -11,13 +11,27 @@ Workers are forked, so the runner factory may close over live objects
 (e.g. an already-prepared :class:`~repro.core.faults.campaign.Campaign`
 whose baseline snapshot is then inherited copy-on-write instead of
 being retrained per worker).
+
+With tracing on (``EngineConfig.trace``) each worker is a flight
+recorder: it streams every event into a private shard file next to the
+result store, stamped with the experiment key / worker id / attempt it
+belongs to, and installs itself as the process-wide current tracer so
+code deep inside the runner (the trainer, the injector, the detector)
+emits into the same shard without the payload-agnostic engine threading
+a tracer through.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.observe import profile_scope
+from repro.observe import (
+    EXPERIMENT_FINISHED,
+    EXPERIMENT_STARTED,
+    Tracer,
+    profile_scope,
+    set_current_tracer,
+)
 
 #: Message tags on the worker -> parent result queue.
 READY = "ready"
@@ -34,12 +48,62 @@ class WorkUnit:
     payload: dict
 
 
-def worker_main(worker_id: int, runner_factory, task_queue, result_queue) -> None:
-    """Worker process entry point (see module docstring)."""
+class UnitCapture:
+    """Per-unit shard-capture bookkeeping (worker and serial paths).
+
+    Stamps the tracer's context with ``key``/``worker``/``attempt``
+    around each unit and brackets the unit's events with
+    ``experiment_started`` / ``experiment_finished`` markers — the
+    attribution the shard merge needs to deduplicate retried units.
+    The attempt counter is shard-local (each worker writes its own
+    file), which keeps attempt ids unique per (shard, key).
+    """
+
+    def __init__(self, tracer: Tracer, worker_id: int,
+                 outcome_field: str = "outcome"):
+        self.tracer = tracer
+        self.worker_id = worker_id
+        self.outcome_field = outcome_field
+        self._attempts: dict[str, int] = {}
+
+    def start(self, key: str) -> None:
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        self.tracer.set_context(key=key, worker=self.worker_id,
+                                attempt=attempt)
+        self.tracer.emit(EXPERIMENT_STARTED)
+
+    def done(self, result) -> None:
+        outcome = (result.get(self.outcome_field)
+                   if isinstance(result, dict) else None)
+        self.tracer.emit(EXPERIMENT_FINISHED, status="done", outcome=outcome)
+        self.tracer.clear_context()
+
+    def error(self, error: str) -> None:
+        self.tracer.emit(EXPERIMENT_FINISHED, status="error", error=error)
+        self.tracer.clear_context()
+
+
+def worker_main(worker_id: int, runner_factory, task_queue, result_queue,
+                trace_path=None, outcome_field: str = "outcome") -> None:
+    """Worker process entry point (see module docstring).
+
+    ``trace_path``, when given, turns on flight recording: a streaming
+    shard tracer is opened there and installed process-wide for the
+    worker's lifetime.
+    """
+    tracer: Tracer | None = None
+    capture: UnitCapture | None = None
+    if trace_path is not None:
+        tracer = Tracer(stream=trace_path, meta={"worker": worker_id})
+        set_current_tracer(tracer)
+        capture = UnitCapture(tracer, worker_id, outcome_field)
     try:
         runner = runner_factory()
     except BaseException as exc:  # noqa: BLE001 - report, never hang the parent
         result_queue.put((INIT_ERROR, worker_id, f"{type(exc).__name__}: {exc}"))
+        if tracer is not None:
+            tracer.close()
         return
     result_queue.put((READY, worker_id, None))
     while True:
@@ -47,10 +111,19 @@ def worker_main(worker_id: int, runner_factory, task_queue, result_queue) -> Non
         if task is None:
             break
         key, payload = task
+        if capture is not None:
+            capture.start(key)
         try:
             with profile_scope("engine.experiment"):
                 result = runner(payload)
+            if capture is not None:
+                capture.done(result)
             result_queue.put((DONE, worker_id, (key, result)))
         except BaseException as exc:  # noqa: BLE001 - one bad unit must not kill the pool
-            result_queue.put((ERROR, worker_id,
-                              (key, f"{type(exc).__name__}: {exc}")))
+            error = f"{type(exc).__name__}: {exc}"
+            if capture is not None:
+                capture.error(error)
+            result_queue.put((ERROR, worker_id, (key, error)))
+    if tracer is not None:
+        set_current_tracer(None)
+        tracer.close()

@@ -37,7 +37,9 @@ from repro.observe.events import (
     DIVERGENCE,
     EVENT_TYPES,
     EXPERIMENT_COMPLETED,
+    EXPERIMENT_FINISHED,
     EXPERIMENT_QUARANTINED,
+    EXPERIMENT_STARTED,
     FAULT_INJECTED,
     ITERATION_STATS,
     ROLLBACK,
@@ -46,6 +48,15 @@ from repro.observe.events import (
     TraceFormatError,
     TraceSchemaError,
 )
+from repro.observe.merge import (
+    SHARD_PREFIX,
+    TraceMergeResult,
+    campaign_trace_path,
+    merge_campaign_shards,
+    merge_traces,
+    shard_path,
+    shard_paths,
+)
 from repro.observe.profiler import (
     PROFILER,
     ProfileStat,
@@ -53,20 +64,30 @@ from repro.observe.profiler import (
     profile_scope,
     render_profile,
 )
-from repro.observe.tracer import NULL_TRACER, TraceFile, Tracer, read_trace
+from repro.observe.tracer import (
+    NULL_TRACER,
+    TraceFile,
+    Tracer,
+    current_tracer,
+    read_trace,
+    set_current_tracer,
+)
 
 __all__ = [
     "DETECTOR_FIRED",
     "DIVERGENCE",
     "EVENT_TYPES",
     "EXPERIMENT_COMPLETED",
+    "EXPERIMENT_FINISHED",
     "EXPERIMENT_QUARANTINED",
+    "EXPERIMENT_STARTED",
     "FAULT_INJECTED",
     "ITERATION_STATS",
     "NULL_TRACER",
     "PROFILER",
     "REGISTRY",
     "ROLLBACK",
+    "SHARD_PREFIX",
     "TRACE_SCHEMA_VERSION",
     "Counter",
     "Histogram",
@@ -76,14 +97,22 @@ __all__ = [
     "TraceEvent",
     "TraceFile",
     "TraceFormatError",
+    "TraceMergeResult",
     "TraceSchemaError",
     "Tracer",
+    "campaign_trace_path",
     "counter",
+    "current_tracer",
     "histogram",
+    "merge_campaign_shards",
+    "merge_traces",
     "metrics_enabled",
     "metrics_snapshot",
     "profile_scope",
     "read_trace",
     "render_profile",
+    "set_current_tracer",
     "set_metrics_enabled",
+    "shard_path",
+    "shard_paths",
 ]

@@ -49,6 +49,13 @@ EXPERIMENT_COMPLETED = "experiment_completed"
 #: Engine scheduler: one experiment exhausted its retries (data: key,
 #: error).
 EXPERIMENT_QUARANTINED = "experiment_quarantined"
+#: Engine worker: one attempt of an experiment began executing (data:
+#: key, worker, attempt — the shard-capture context stamp).
+EXPERIMENT_STARTED = "experiment_started"
+#: Engine worker: one attempt finished (data: key, worker, attempt,
+#: status "done"/"error", plus outcome or error).  The shard merge uses
+#: this marker to pick the completed attempt when a unit was retried.
+EXPERIMENT_FINISHED = "experiment_finished"
 
 #: Every known event type; :meth:`Tracer.emit` rejects others so trace
 #: consumers can rely on a closed vocabulary.
@@ -60,6 +67,8 @@ EVENT_TYPES = frozenset({
     DIVERGENCE,
     EXPERIMENT_COMPLETED,
     EXPERIMENT_QUARANTINED,
+    EXPERIMENT_STARTED,
+    EXPERIMENT_FINISHED,
 })
 
 

@@ -59,7 +59,8 @@ class Tracer:
     """
 
     def __init__(self, capacity: int = 65536, enabled: bool = True,
-                 meta: dict | None = None, clock=time.perf_counter):
+                 meta: dict | None = None, clock=time.perf_counter,
+                 stream: str | Path | None = None):
         if capacity < 1:
             raise ValueError(f"tracer capacity must be >= 1: {capacity}")
         self.enabled = bool(enabled)
@@ -70,6 +71,25 @@ class Tracer:
         self._ring: deque[TraceEvent] = deque(maxlen=self.capacity)
         #: Total events emitted (including ones the ring has dropped).
         self.emitted = 0
+        #: Context stamp merged under every emitted event's data (the
+        #: engine workers stamp key/worker/attempt here so shard events
+        #: stay attributable after the merge).
+        self._context: dict = {}
+        #: Streaming sink: when a path is given, the header is written
+        #: immediately and every event is appended + flushed as it is
+        #: emitted, so a killed process loses at most the line in flight
+        #: (the shard files of the campaign flight recorder).
+        self.stream_path = Path(stream) if stream is not None else None
+        self._stream_fh = None
+        if self.stream_path is not None:
+            self.stream_path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream_fh = open(self.stream_path, "w", encoding="utf-8")
+            header = {"record": HEADER, "schema": TRACE_SCHEMA_VERSION,
+                      "kind": "trace", "meta": self.meta}
+            self._stream_fh.write(
+                json.dumps(header, separators=(",", ":"),
+                           default=_json_default) + "\n")
+            self._stream_fh.flush()
 
     # ------------------------------------------------------------------
     # Emission (the hot path)
@@ -83,12 +103,47 @@ class Tracer:
             raise ValueError(
                 f"unknown trace event type {event_type!r}; known: "
                 f"{sorted(EVENT_TYPES)}")
+        if self._context:
+            data = {**self._context, **data}
         event = TraceEvent(type=event_type, seq=self.emitted,
                            t=self._clock() - self._start,
                            iteration=iteration, data=data)
         self.emitted += 1
         self._ring.append(event)
+        if self._stream_fh is not None:
+            self._stream_fh.write(
+                json.dumps(event.to_record(), separators=(",", ":"),
+                           default=_json_default) + "\n")
+            self._stream_fh.flush()
         return event
+
+    # ------------------------------------------------------------------
+    # Context stamping
+    # ------------------------------------------------------------------
+    def set_context(self, **context) -> None:
+        """Stamp ``context`` under every subsequent event's data.
+
+        Explicit ``emit`` keyword arguments win over the context on
+        collision.  Used by engine workers to tag events with the
+        experiment key / worker id / attempt they belong to."""
+        self._context = dict(context)
+
+    def clear_context(self) -> None:
+        self._context = {}
+
+    # ------------------------------------------------------------------
+    # Streaming lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the streaming sink, if any (buffered events remain)."""
+        if self._stream_fh is not None and not self._stream_fh.closed:
+            self._stream_fh.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -162,6 +217,27 @@ class Tracer:
 #: The shared always-disabled tracer every component defaults to, so the
 #: untraced hot path pays exactly one attribute check per emit call.
 NULL_TRACER = Tracer(capacity=1, enabled=False)
+
+#: Process-wide "current" tracer.  Engine workers install their shard
+#: tracer here after the fork; components that build their own trainers
+#: deep inside a worker (e.g. ``Campaign.run_experiment``) pick it up
+#: without the payload-agnostic engine having to thread it through.
+_CURRENT_TRACER: Tracer = NULL_TRACER
+
+
+def set_current_tracer(tracer: Tracer | None) -> Tracer:
+    """Install the process-wide current tracer; returns the previous one.
+
+    Passing ``None`` resets to :data:`NULL_TRACER`."""
+    global _CURRENT_TRACER
+    previous = _CURRENT_TRACER
+    _CURRENT_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def current_tracer() -> Tracer:
+    """The process-wide current tracer (default: :data:`NULL_TRACER`)."""
+    return _CURRENT_TRACER
 
 
 class TraceFile:

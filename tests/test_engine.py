@@ -222,3 +222,42 @@ class TestCampaignThroughEngine:
                             horizon=6, keep_records=True)
         with pytest.raises(ValueError, match="keep_records"):
             campaign.run(1, parallel=2)
+
+
+class TestStallTelemetry:
+    def _snapshot(self, busy_elapsed, stall_timeout):
+        from repro.engine.telemetry import ProgressSnapshot, WorkerHealth
+
+        workers = {
+            0: WorkerHealth(completed=2),
+            1: WorkerHealth(completed=1, busy_key="key7",
+                            busy_elapsed_s=busy_elapsed),
+        }
+        return ProgressSnapshot(total=6, done=3, skipped=0, quarantined=0,
+                                retries=0, elapsed=10.0, throughput=0.3,
+                                eta=10.0, breakdown={"ok": 3},
+                                workers=workers, stall_timeout=stall_timeout)
+
+    def test_stalled_workers_flagged_and_rendered(self):
+        snapshot = self._snapshot(busy_elapsed=45.0, stall_timeout=30.0)
+        assert snapshot.stalled_workers() == [1]
+        assert "STALLED: w1" in snapshot.render()
+
+    def test_fast_workers_not_flagged(self):
+        snapshot = self._snapshot(busy_elapsed=5.0, stall_timeout=30.0)
+        assert snapshot.stalled_workers() == []
+        assert "STALLED" not in snapshot.render()
+
+    def test_no_timeout_disables_stall_flagging(self):
+        snapshot = self._snapshot(busy_elapsed=1e9, stall_timeout=None)
+        assert snapshot.stalled_workers() == []
+
+    def test_tracker_snapshot_carries_busy_elapsed(self):
+        from repro.engine.telemetry import ProgressTracker
+
+        tracker = ProgressTracker(total=2, stall_timeout=0.01)
+        tracker.task_started(0, "key0")
+        time.sleep(0.03)
+        snapshot = tracker.snapshot()
+        assert snapshot.workers[0].busy_elapsed_s > 0.01
+        assert snapshot.stalled_workers() == [0]

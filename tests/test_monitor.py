@@ -1,0 +1,204 @@
+"""Tests for the live campaign monitor (repro.engine.monitor)."""
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    ResultStore,
+    collect,
+    evaluate_alerts,
+    render_html,
+    render_markdown,
+    render_text,
+)
+from repro.engine.worker import UnitCapture
+from repro.observe import DETECTOR_FIRED, ITERATION_STATS, Tracer, shard_path
+
+
+def _fixture_store(path, outcomes=("ok", "ok", "latent_inf_nan"),
+                   quarantined=("key9",), total=6):
+    store = ResultStore(path, kind="campaign",
+                        meta={"workload": "resnet",
+                              "num_experiments": total})
+    for i, outcome in enumerate(outcomes):
+        store.append(f"key{i}", {"outcome": outcome, "index": i})
+    for key in quarantined:
+        store.quarantine(key, "RuntimeError: deliberate failure")
+    store.close()
+    return path
+
+
+def _busy_shard(directory, worker_id, key="key5", finished=1):
+    """A shard whose worker is mid-experiment (started, not finished)."""
+    path = shard_path(directory, worker_id)
+    with Tracer(stream=path, meta={"worker": worker_id}) as tracer:
+        capture = UnitCapture(tracer, worker_id)
+        for i in range(finished):
+            capture.start(f"done{worker_id}_{i}")
+            capture.done({"outcome": "ok"})
+        capture.start(key)
+        tracer.emit(ITERATION_STATS, iteration=0, loss=1.0)
+    return path
+
+
+class TestCollect:
+    def test_store_progress_and_breakdown(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        state = collect(store_path)
+        assert state.kind == "campaign"
+        assert state.total == 6
+        assert state.completed == 3
+        assert state.quarantined == 1
+        assert state.attempted == 4
+        assert state.breakdown == {"ok": 2, "latent_inf_nan": 1}
+        assert state.quarantine_rate == pytest.approx(0.25)
+        assert state.divergence_rate == pytest.approx(1 / 3)
+        assert state.recent[-1]["outcome"] == "quarantined"
+        assert state.last_result_age is not None
+
+    def test_worker_shards_busy_and_idle(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        _busy_shard(tmp_path, 0)
+        with Tracer(stream=shard_path(tmp_path, 1)) as tracer:
+            capture = UnitCapture(tracer, 1)
+            capture.start("done1")
+            capture.done({"outcome": "ok"})
+        state = collect(store_path)
+        assert [w.worker for w in state.workers] == [0, 1]
+        busy, idle = state.workers
+        assert busy.busy_key == "key5"
+        assert busy.finished == 1
+        assert idle.busy_key is None
+        assert idle.finished == 1
+        assert state.stalled_workers == []
+
+    def test_stall_detection_from_shard_age(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        shard = _busy_shard(tmp_path, 0)
+        stale = time.time() - 120
+        os.utime(shard, (stale, stale))
+        state = collect(store_path, stall_after=30.0)
+        assert state.workers[0].stalled
+        assert state.stalled_workers == [0]
+        # An idle worker is never stalled, no matter how old its shard.
+        state = collect(store_path, stall_after=None)
+        assert state.stalled_workers == []
+
+    def test_unreadable_shard_is_flagged_not_fatal(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        shard_path(tmp_path, 0).write_text('{"record":"hea', encoding="utf-8")
+        state = collect(store_path)
+        assert state.workers[0].unreadable
+
+    def test_detections_collected_from_shards(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        path = shard_path(tmp_path, 0)
+        with Tracer(stream=path) as tracer:
+            capture = UnitCapture(tracer, 0)
+            capture.start("key0")
+            tracer.emit(DETECTOR_FIRED, iteration=7,
+                        condition="gradient_history", magnitude=1e9,
+                        bound=1.0)
+            capture.done({"outcome": "degraded"})
+        state = collect(store_path)
+        assert state.detections[-1]["key"] == "key0"
+        assert state.detections[-1]["iteration"] == 7
+
+
+class TestAlerts:
+    def test_quarantine_rate_alert(self, tmp_path):
+        state = collect(_fixture_store(tmp_path / "r.jsonl"))
+        assert evaluate_alerts(state, max_quarantine_rate=0.5) == []
+        alerts = evaluate_alerts(state, max_quarantine_rate=0.1)
+        assert len(alerts) == 1 and "quarantine rate" in alerts[0]
+        assert state.alerts == alerts
+
+    def test_divergence_rate_alert(self, tmp_path):
+        state = collect(_fixture_store(tmp_path / "r.jsonl"))
+        assert evaluate_alerts(state, max_divergence_rate=0.5) == []
+        alerts = evaluate_alerts(state, max_divergence_rate=0.2)
+        assert len(alerts) == 1 and "divergence rate" in alerts[0]
+
+    def test_stalled_worker_alert(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        shard = _busy_shard(tmp_path, 2)
+        stale = time.time() - 120
+        os.utime(shard, (stale, stale))
+        state = collect(store_path, stall_after=30.0)
+        alerts = evaluate_alerts(state)
+        assert alerts == ["stalled workers: w2"]
+
+
+class TestRendering:
+    @pytest.fixture
+    def state(self, tmp_path):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        shard = _busy_shard(tmp_path, 0)
+        stale = time.time() - 120
+        os.utime(shard, (stale, stale))
+        state = collect(store_path, stall_after=30.0)
+        evaluate_alerts(state, max_quarantine_rate=0.1)
+        return state
+
+    def test_render_text(self, state):
+        text = render_text(state)
+        assert "3/6 done" in text
+        assert "1 quarantined" in text
+        assert "latent_inf_nan:1" in text
+        assert "STALLED key=key5" in text
+        assert "ALERT" in text and "quarantine rate" in text
+
+    def test_render_markdown(self, state):
+        md = render_markdown(state)
+        assert "| latent_inf_nan | 1 |" in md
+        assert "**STALLED** `key5`" in md
+        assert "> **ALERT**" in md
+
+    def test_render_html_escapes(self, state):
+        state.meta["workload"] = "<resnet>"
+        page = render_html(state)
+        assert "<!DOCTYPE html>" in page
+        assert "&lt;resnet&gt;" in page
+        assert "<resnet>" not in page
+        assert "STALLED key5" in page
+
+
+class TestMonitorCli:
+    def test_once_ok_exit_zero(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rc = main(["monitor", str(store_path), "--once"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign monitor" in out
+        assert "3/6 done" in out
+
+    def test_once_alert_exit_nonzero(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rc = main(["monitor", str(store_path), "--once",
+                   "--max-quarantine-rate", "0.1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "quarantine rate" in captured.err
+
+    def test_html_and_markdown_exports(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        html_out = tmp_path / "dash.html"
+        md_out = tmp_path / "dash.md"
+        rc = main(["monitor", str(store_path), "--once",
+                   "--html", str(html_out), "--markdown", str(md_out)])
+        assert rc == 0
+        assert "<!DOCTYPE html>" in html_out.read_text(encoding="utf-8")
+        assert "# Campaign monitor" in md_out.read_text(encoding="utf-8")
+
+    def test_follow_exits_when_campaign_complete(self, tmp_path, capsys):
+        store_path = _fixture_store(
+            tmp_path / "r.jsonl",
+            outcomes=("ok", "ok", "ok", "ok", "ok"), quarantined=("key9",),
+            total=6)
+        rc = main(["monitor", str(store_path), "--follow",
+                   "--interval", "0.01"])
+        assert rc == 0
+        assert "5/6 done" in capsys.readouterr().out
