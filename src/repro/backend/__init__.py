@@ -1,0 +1,46 @@
+"""Pluggable execution backends for the data-parallel trainer.
+
+See :mod:`repro.backend.base` for the contract,
+:mod:`repro.backend.inprocess` for the historical simulated loop, and
+:mod:`repro.backend.multiprocess` for the one-process-per-replica
+shared-memory runtime with deterministic collectives
+(:mod:`repro.backend.collectives`).
+"""
+
+from repro.backend import collectives
+from repro.backend.base import (
+    BACKEND_NAMES,
+    CollectiveTimeoutError,
+    DeviceFaultPlan,
+    ExecutionBackend,
+    ReplicaChaos,
+    ReplicaLostError,
+    absorb_device_fault_results,
+    build_backend,
+    collect_device_fault_plans,
+    device_step,
+    reseed_random_layers,
+)
+from repro.backend.collectives import all_reduce_mean, barrier, broadcast
+from repro.backend.inprocess import InProcessBackend
+from repro.backend.multiprocess import MultiProcessBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "CollectiveTimeoutError",
+    "DeviceFaultPlan",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "MultiProcessBackend",
+    "ReplicaChaos",
+    "ReplicaLostError",
+    "absorb_device_fault_results",
+    "all_reduce_mean",
+    "barrier",
+    "broadcast",
+    "build_backend",
+    "collect_device_fault_plans",
+    "collectives",
+    "device_step",
+    "reseed_random_layers",
+]

@@ -1,0 +1,121 @@
+"""Deterministic collective primitives over fused state buffers.
+
+The multi-process backend replaces the simulator's central-server
+averaging with proper collectives, but keeps the paper's reproducibility
+contract: every collective here is **order-pinned** — the floating-point
+association order is fixed by rank, never by arrival order — so a
+campaign's convergence records are bit-identical at any worker count,
+on any backend, across any scheduling of the replica processes.
+
+``all_reduce_mean`` is structured as a chunked ring pass (chunks visit
+ranks round-robin, the way a ring all-reduce schedules link transfers),
+with the accumulation order *within* each chunk pinned to ascending
+rank.  Because float addition is elementwise, the pinned per-element
+association ``((0 + g_0) + g_1) + ...`` makes the result bit-identical
+to the naive central-server sum the in-process simulator performs —
+pinned by ``tests/test_backend.py`` property tests over every registry
+workload.
+
+The reduced buffer is also the comm-fault injection site: ``fault_hook``
+perturbs the in-flight mean exactly once, after the reduction and before
+any consumer sees it (link faults, see
+:class:`repro.core.faults.comm.CommFaultInjector`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Default ring chunk size (elements).  Chunking only affects scheduling
+#: granularity, never results: per-element association order is pinned.
+DEFAULT_CHUNK = 1 << 16
+
+
+def ring_order(num_ranks: int, start: int = 0) -> list[int]:
+    """The pinned rank visitation order of the ring, starting at
+    ``start``: ``start, start+1, ..., start-1`` (mod ``num_ranks``)."""
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1: {num_ranks}")
+    return [(start + r) % num_ranks for r in range(num_ranks)]
+
+
+def ring_chunks(total: int, num_ranks: int, chunk: int = DEFAULT_CHUNK) -> list[slice]:
+    """Chunk slices of a ``total``-element buffer for a ring pass.
+
+    At least one chunk per rank (the classic ring partition) and no
+    chunk larger than ``chunk`` elements.
+    """
+    if total <= 0:
+        return [slice(0, 0)]
+    pieces = max(num_ranks, -(-total // max(int(chunk), 1)))
+    bounds = np.linspace(0, total, min(pieces, total) + 1, dtype=np.int64)
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])
+            if int(b) > int(a)]
+
+
+def all_reduce_mean(
+    buffers: Sequence[np.ndarray],
+    out: np.ndarray,
+    scratch: np.ndarray | None = None,
+    chunk: int = DEFAULT_CHUNK,
+    fault_hook: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Reduce ``buffers`` to their elementwise mean in ``out``.
+
+    ``out`` may alias one of the inputs (the master replica's gradient
+    segment is both rank-0 contribution and destination): accumulation
+    happens in ``scratch`` and is written to ``out`` only at the end.
+    The addition order per chunk is pinned to ascending rank, making
+    the result bit-identical to the sequential central-server sum.
+    """
+    num_ranks = len(buffers)
+    if num_ranks == 0:
+        raise ValueError("all_reduce_mean needs at least one buffer")
+    total = buffers[0].size
+    for buf in buffers:
+        if buf.shape != buffers[0].shape:
+            raise ValueError("all_reduce_mean buffers must be shape-aligned")
+    if scratch is None:
+        scratch = np.empty_like(out)
+    inv = 1.0 / num_ranks
+    # A throughput-optimal ring rotates each chunk's starting rank; we
+    # pin every chunk's ring to start at rank 0, which fixes the
+    # per-element association order to the central-server sum — the
+    # reproducibility contract of the paper's campaigns.
+    order = ring_order(num_ranks, start=0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for sl in ring_chunks(total, num_ranks, chunk):
+            acc = scratch[sl]
+            acc.fill(0.0)
+            for rank in order:
+                acc += buffers[rank][sl]
+        np.multiply(scratch, inv, out=out)
+    if fault_hook is not None:
+        faulty = fault_hook(out)
+        if faulty is not out:
+            np.copyto(out, faulty)
+    return out
+
+
+def broadcast(src: np.ndarray, dests: Sequence[np.ndarray]) -> None:
+    """Copy ``src`` into every destination buffer (rank order)."""
+    for dest in dests:
+        np.copyto(dest, src)
+
+
+def barrier(conns: Sequence) -> None:
+    """Round-trip synchronization with a set of replica endpoints.
+
+    Sends a ``("barrier",)`` command down every connection (rank order)
+    and awaits one acknowledgement each.  This is the bare protocol
+    primitive; :meth:`repro.backend.multiprocess.MultiProcessBackend.barrier`
+    wraps it with straggler and replica-loss handling.
+    """
+    for conn in conns:
+        conn.send(("barrier",))
+    for rank, conn in enumerate(conns):
+        tag, _ = conn.recv()
+        if tag != "ok":
+            raise RuntimeError(f"barrier: replica {rank} answered {tag!r}")

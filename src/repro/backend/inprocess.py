@@ -1,0 +1,96 @@
+"""The historical single-process simulated backend.
+
+This is the loop body ``SyncDataParallelTrainer.run_iteration`` always
+ran, extracted behind the :class:`~repro.backend.base.ExecutionBackend`
+interface and otherwise unchanged — golden traces
+(``tests/data/golden_traces.json``) pin it bit-identical to the
+pre-backend trainer.  Every replica steps sequentially in this process;
+"communication" is the central-server accumulate/average/broadcast the
+paper's simulator modeled.
+
+Gradient accumulation is fully pre-allocated: the fused path reuses the
+trainer's arena-layout scratch buffer, and the scattered fallback (tied
+weights) keeps one per-parameter sum buffer for the trainer's lifetime,
+so no per-iteration allocation happens on the averaging path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, device_step
+from repro.observe import profile_scope
+
+
+class InProcessBackend(ExecutionBackend):
+    """Sequentially simulated replicas inside the trainer's process."""
+
+    name = "inprocess"
+
+    def __init__(self):
+        super().__init__()
+        self._grad_accum: np.ndarray | None = None
+        self._master_params = None
+        self._grad_sums: list[np.ndarray] | None = None
+
+    def bind(self, trainer) -> None:
+        super().bind(trainer)
+        if trainer.arenas is not None:
+            self._grad_accum = trainer.master_arena.scratch()
+        else:
+            self._master_params = list(trainer.master.parameters())
+            self._grad_sums = [np.zeros_like(p.data)
+                               for p in self._master_params]
+
+    # ------------------------------------------------------------------
+    # Per-iteration contract
+    # ------------------------------------------------------------------
+    def step(self, iteration: int) -> tuple[float, float]:
+        trainer = self.trainer
+        fused = trainer.arenas is not None
+        if fused:
+            grad_accum = self._grad_accum
+            grad_accum.fill(0.0)
+        else:
+            grad_sums = self._grad_sums
+            for g_sum in grad_sums:
+                g_sum.fill(0.0)
+        total_loss = 0.0
+        total_acc = 0.0
+        for device in range(trainer.num_devices):
+            loss, acc = device_step(trainer, device, iteration)
+            total_loss += loss
+            total_acc += acc
+            with np.errstate(over="ignore", invalid="ignore"):
+                if fused:
+                    grad_accum += trainer.arenas[device].grad
+                else:
+                    for g_sum, param in zip(
+                            grad_sums, trainer.replicas[device].parameters()):
+                        g_sum += param.grad
+        # Average gradients into the master replica (the "central
+        # server"): one fused axpy instead of a per-parameter loop.
+        inv = 1.0 / trainer.num_devices
+        with profile_scope("sync.grad_average"), \
+                np.errstate(over="ignore", invalid="ignore"):
+            if fused:
+                np.multiply(grad_accum, inv, out=trainer.master_arena.grad)
+                self._apply_comm_fault(trainer.master_arena.grad)
+            else:
+                for param, g_sum in zip(self._master_params, grad_sums):
+                    np.multiply(g_sum, inv, out=param.grad)
+        return total_loss / trainer.num_devices, total_acc / trainer.num_devices
+
+    def broadcast(self) -> None:
+        """Copy master parameters into every other replica — one fused
+        buffer copy per replica when arenas are available."""
+        trainer = self.trainer
+        if trainer.arenas is not None:
+            master = trainer.master_arena.param
+            for arena in trainer.arenas[1:]:
+                np.copyto(arena.param, master)
+            return
+        master_params = self._master_params
+        for replica in trainer.replicas[1:]:
+            for p_master, p_replica in zip(master_params, replica.parameters()):
+                np.copyto(p_replica.data, p_master.data)

@@ -1,0 +1,484 @@
+"""True multi-process data-parallel backend over shared-memory arenas.
+
+One OS process per replica, the topology of the paper's 8-device runs
+(Sec. 3.3).  Each replica's :class:`~repro.state.StateArena` ``param``/
+``grad`` segments are remapped into a ``multiprocessing.shared_memory``
+segment *before* the replica processes fork, so parent and children
+address the same physical training state: children write gradients in
+place, the parent reduces them with the order-pinned collectives and
+broadcasts weights with plain buffer copies — no tensor ever crosses a
+pipe.  The pipes carry only the control plane: per-iteration step
+commands (with serialized :class:`~repro.backend.base.DeviceFaultPlan`
+orders and chaos directives) and small replies (loss/acc, BatchNorm
+moving statistics, fault execution results).
+
+BatchNorm moving statistics deliberately live *outside* the arena (they
+are per-device by design — the LowTestAccuracy mechanism), so each step
+reply mirrors them back and the parent loads them into its own replica
+modules.  That keeps every parent-side consumer — ``mvar_magnitude``,
+``evaluate``, checkpoint capture, state digests — working unchanged,
+and bit-identical to the in-process backend.
+
+Robustness the simulator cannot express (and the reason this backend
+exists beyond speed):
+
+* **straggler detection** — a replica that exceeds the collective
+  timeout is flagged (``straggler_detected`` trace event + telemetry
+  list) while the collective keeps waiting, up to a hard deadline
+  (:class:`~repro.backend.base.CollectiveTimeoutError`);
+* **replica-crash detection** — a replica that dies mid-collective
+  aborts the trainer cleanly (``replica_lost`` trace event, shared
+  segments unlinked, :class:`~repro.backend.base.ReplicaLostError`
+  surfaced as the ``ReplicaLost`` outcome);
+* **chaos injection** — :class:`~repro.backend.base.ReplicaChaos`
+  directives delay or hard-kill a chosen replica at a chosen iteration,
+  exercising both paths deterministically in tests.
+
+When given a trace path, every replica process streams its own shard
+(``trace-replica<d>.jsonl``) through the PR 4 flight-recorder machinery;
+:meth:`close` merges the shards into ``<trace>.replicas.jsonl``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from multiprocessing import connection as mp_connection
+from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.base import (
+    CollectiveTimeoutError,
+    ExecutionBackend,
+    ReplicaChaos,
+    ReplicaLostError,
+    absorb_device_fault_results,
+    collect_device_fault_plans,
+    device_step,
+)
+from repro.backend.collectives import all_reduce_mean
+from repro.backend.collectives import broadcast as broadcast_buffers
+from repro.observe import (
+    EXPERIMENT_FINISHED,
+    EXPERIMENT_STARTED,
+    FAULT_INJECTED,
+    REPLICA_LOST,
+    REPLICA_STEP,
+    STRAGGLER_DETECTED,
+    Tracer,
+    merge_traces,
+    profile_scope,
+    replica_shard_path,
+    replica_trace_path,
+)
+from repro.state.arena import GRAD_SEGMENT, PARAM_SEGMENT
+
+#: How long the gather loop sleeps between poll rounds (seconds).
+_POLL_INTERVAL = 0.02
+
+#: How long :meth:`MultiProcessBackend.close` waits for a replica to
+#: exit voluntarily before terminating it (seconds).
+_STOP_GRACE = 5.0
+
+
+# ----------------------------------------------------------------------
+# Replica (child) side
+# ----------------------------------------------------------------------
+def _execute_chaos(chaos: list[ReplicaChaos]) -> None:
+    """Apply chaos directives addressed to this replica/iteration."""
+    for directive in chaos:
+        if directive.kind == "kill":
+            # A hard crash: no reply, no cleanup, no exit handlers —
+            # exactly what the parent's loss detection must survive.
+            os._exit(1)
+        time.sleep(directive.seconds)
+
+
+def _execute_plans(trainer, device: int, plans: list):
+    """Arm the shipped fault plans on this replica; returns the armed
+    ``(plan_id, injector)`` pairs for post-step result collection."""
+    if not plans:
+        return []
+    # Imported lazily: repro.core.faults pulls in the campaign module,
+    # which imports the trainer, which imports this package.
+    from repro.core.faults.injector import FaultInjector
+
+    armed = []
+    for plan in plans:
+        if plan.config is not None:
+            injector = FaultInjector(plan.fault, plan.config)
+        else:
+            injector = FaultInjector(plan.fault)
+        injector.arm(trainer, trainer.replicas[device])
+        armed.append((plan.plan_id, injector))
+    return armed
+
+
+def _child_step(trainer, device: int, iteration: int, plans: list,
+                chaos: list, tracer: Tracer | None) -> dict:
+    """One replica's share of a synchronous iteration, child side."""
+    _execute_chaos(chaos)
+    armed = _execute_plans(trainer, device, plans)
+    loss, acc = device_step(trainer, device, iteration)
+    faults = []
+    for plan_id, injector in armed:
+        injector.disarm()
+        faults.append((plan_id, injector.fired, injector.record))
+        if tracer is not None and injector.fired and injector.record is not None:
+            fault, record = injector.fault, injector.record
+            tracer.emit(FAULT_INJECTED, iteration=iteration, device=device,
+                        site=fault.site.module_name, kind=fault.site.kind,
+                        op="site", ff_category=fault.ff.category,
+                        model=record.model, num_faulty=record.num_faulty,
+                        max_abs_faulty=record.max_abs_faulty())
+    # Mirror per-device extra state (BatchNorm moving statistics) back to
+    # the parent: it lives outside the shared arena on purpose.
+    extra = None
+    stateful = trainer.arenas[device].stateful_modules
+    if stateful:
+        extra = [(name, module.extra_state()) for name, module in stateful]
+    if tracer is not None:
+        tracer.emit(REPLICA_STEP, iteration=iteration, device=device,
+                    loss=float(loss), acc=float(acc))
+    return {"loss": loss, "acc": acc, "extra": extra, "faults": faults}
+
+
+def _load_extra(trainer, device: int, states: list) -> None:
+    """Apply a parent-side extra-state push (post-recovery resync)."""
+    by_name = dict(states)
+    for name, module in trainer.arenas[device].stateful_modules:
+        state = by_name.get(name)
+        if state is not None:
+            module.load_extra_state(state)
+
+
+def _replica_main(trainer, device: int, conn, shard: Path | None) -> None:
+    """The replica process: serve step/barrier/load_extra commands until
+    told to stop (or the parent disappears)."""
+    tracer: Tracer | None = None
+    if shard is not None:
+        tracer = Tracer(meta={"replica": device}, stream=shard)
+        tracer.set_context(key=f"replica{device}", worker=device, attempt=0)
+        tracer.emit(EXPERIMENT_STARTED, device=device)
+    status = "done"
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone; nothing left to serve
+            op = command[0]
+            if op == "stop":
+                break
+            try:
+                if op == "step":
+                    _, iteration, plans, chaos = command
+                    payload = _child_step(trainer, device, iteration,
+                                          plans, chaos, tracer)
+                    conn.send(("ok", payload))
+                elif op == "load_extra":
+                    _load_extra(trainer, device, command[1])
+                    conn.send(("ok", None))
+                elif op == "barrier":
+                    conn.send(("ok", None))
+                else:
+                    conn.send(("err", f"unknown command {op!r}"))
+            except Exception as exc:  # surface, keep serving
+                status = "error"
+                try:
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        if tracer is not None:
+            tracer.emit(EXPERIMENT_FINISHED, device=device, status=status)
+            tracer.close()
+        # Hard exit: a forked child must not run the parent's inherited
+        # exit handlers (stream flushes, shared-memory cleanup).
+        os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class MultiProcessBackend(ExecutionBackend):
+    """One process per replica over shared-memory fused state."""
+
+    name = "multiprocess"
+    #: Device work happens in replica processes: injector hooks export
+    #: :class:`DeviceFaultPlan` orders instead of arming parent modules.
+    local_device_work = False
+
+    def __init__(self, timeout: float = 30.0, hard_timeout: float | None = None,
+                 chaos: tuple[ReplicaChaos, ...] = (),
+                 trace_path: str | Path | None = None):
+        super().__init__()
+        self.timeout = float(timeout)
+        self.hard_timeout = (float(hard_timeout) if hard_timeout is not None
+                             else self.timeout * 8.0)
+        self.chaos = tuple(chaos)
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        #: Straggler telemetry: one dict per flagged (device, collective).
+        self.straggler_events: list[dict] = []
+        #: Merged per-replica trace written by :meth:`close` (if traced).
+        self.replica_trace: Path | None = None
+        self._started = False
+        self._closed = False
+        self._segments: list[SharedMemory] = []
+        self._conns: list = []
+        self._procs: list = []
+        self._shards: list[Path] = []
+        self._scratch: np.ndarray | None = None
+
+    def bind(self, trainer) -> None:
+        super().bind(trainer)
+        if trainer.arenas is None:
+            raise RuntimeError(
+                "the multiprocess backend requires fused state arenas and "
+                "this model cannot be laid out as one (tied weights?); "
+                "use the inprocess backend")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Map arenas into shared memory and fork the replica processes.
+
+        Called lazily on the first :meth:`step`, so everything set up
+        after trainer construction — hooks, checkpoint restores,
+        campaign snapshot loads — is inherited by the children.
+        """
+        if self._started:
+            return
+        if self._closed:
+            raise RuntimeError("multiprocess backend is closed")
+        trainer = self.trainer
+        ctx = mp.get_context("fork")  # children must inherit the trainer
+        for arena in trainer.arenas:
+            nbytes = arena.total * 4  # float32
+            shm = SharedMemory(create=True, size=2 * nbytes)
+            param = np.ndarray(arena.total, dtype=np.float32, buffer=shm.buf)
+            grad = np.ndarray(arena.total, dtype=np.float32, buffer=shm.buf,
+                              offset=nbytes)
+            arena.rebind_segment(PARAM_SEGMENT, param)
+            arena.rebind_segment(GRAD_SEGMENT, grad)
+            self._segments.append(shm)
+        self._scratch = trainer.master_arena.scratch()
+        for device in range(trainer.num_devices):
+            shard = None
+            if self.trace_path is not None:
+                shard = replica_shard_path(self.trace_path.parent, device)
+                self._shards.append(shard)
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_replica_main,
+                               args=(trainer, device, child_conn, shard),
+                               daemon=True, name=f"repro-replica{device}")
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the replicas, unmap + unlink shared memory, merge shards.
+
+        The arenas are rebound onto fresh private buffers (carrying the
+        final shared contents), so the trainer remains fully usable —
+        evaluation, digests, snapshots — after the backend is gone.
+        Idempotent; also the abort path after a lost replica.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass  # already dead or never started
+        deadline = time.monotonic() + _STOP_GRACE
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if self._segments:
+            for arena in self.trainer.arenas:
+                arena.rebind_segment(PARAM_SEGMENT, arena.scratch())
+                arena.rebind_segment(GRAD_SEGMENT, arena.scratch())
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        self._conns = []
+        self._procs = []
+        self._started = False
+        if self._shards and self.trace_path is not None:
+            existing = [s for s in self._shards if s.exists()]
+            if existing:
+                self.replica_trace = replica_trace_path(self.trace_path)
+                merge_traces(existing, self.replica_trace)
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # The per-iteration contract
+    # ------------------------------------------------------------------
+    def step(self, iteration: int) -> tuple[float, float]:
+        if not self._started:
+            self.start()
+        trainer = self.trainer
+        plans, exporters = collect_device_fault_plans(trainer, iteration)
+        with profile_scope("backend.dispatch"):
+            for device, conn in enumerate(self._conns):
+                chaos = [c for c in self.chaos if c.applies(device, iteration)]
+                try:
+                    conn.send(("step", iteration,
+                               plans.get(device, []), chaos))
+                except (BrokenPipeError, OSError):
+                    self._replica_lost(device, "dispatch", iteration)
+        with profile_scope("backend.gather"):
+            replies = self._gather("step", iteration)
+        fault_results = []
+        for device in range(trainer.num_devices):
+            payload = replies[device]
+            fault_results.extend(payload["faults"])
+            if payload["extra"]:
+                _load_extra(trainer, device, payload["extra"])
+        absorb_device_fault_results(exporters, fault_results)
+        with profile_scope("sync.grad_average"):
+            all_reduce_mean([arena.grad for arena in trainer.arenas],
+                            out=trainer.master_arena.grad,
+                            scratch=self._scratch,
+                            fault_hook=self._comm_fault_hook)
+        # Same summation order as the in-process device loop: ascending
+        # device rank, so the returned averages are bit-identical.
+        total_loss = 0.0
+        total_acc = 0.0
+        for device in range(trainer.num_devices):
+            total_loss += replies[device]["loss"]
+            total_acc += replies[device]["acc"]
+        return (total_loss / trainer.num_devices,
+                total_acc / trainer.num_devices)
+
+    def broadcast(self) -> None:
+        trainer = self.trainer
+        broadcast_buffers(trainer.master_arena.param,
+                          [arena.param for arena in trainer.arenas[1:]])
+
+    def barrier(self) -> None:
+        """Synchronize with every replica process (round-trip ping),
+        with the same straggler/loss handling as any collective."""
+        if not self._started:
+            return
+        for device, conn in enumerate(self._conns):
+            try:
+                conn.send(("barrier",))
+            except (BrokenPipeError, OSError):
+                self._replica_lost(device, "barrier", None)
+        self._gather("barrier", None)
+
+    # ------------------------------------------------------------------
+    # State-restore notification
+    # ------------------------------------------------------------------
+    def on_state_restored(self) -> None:
+        """Push per-device extra state (BatchNorm moving statistics) to
+        the replicas after a recovery rewind or checkpoint restore.
+        Parameters need no push — they live in shared memory."""
+        if not self._started:
+            return
+        pushed = []
+        for device, conn in enumerate(self._conns):
+            stateful = self.trainer.arenas[device].stateful_modules
+            if not stateful:
+                continue
+            states = [(name, module.extra_state())
+                      for name, module in stateful]
+            try:
+                conn.send(("load_extra", states))
+            except (BrokenPipeError, OSError):
+                self._replica_lost(device, "load_extra", None)
+            pushed.append(device)
+        if pushed:
+            self._gather("load_extra", None, devices=pushed)
+
+    # ------------------------------------------------------------------
+    # Gather: the robustness core
+    # ------------------------------------------------------------------
+    def _gather(self, phase: str, iteration: int | None,
+                devices: list[int] | None = None) -> dict[int, dict]:
+        """Await one reply per device, detecting stragglers and losses.
+
+        A replica past ``timeout`` is flagged once (trace event +
+        telemetry) while the collective keeps waiting; past
+        ``hard_timeout`` the collective aborts.  A dead replica raises
+        :class:`ReplicaLostError` after tearing the backend down.
+        """
+        if devices is None:
+            devices = list(range(len(self._conns)))
+        pending = {device: self._conns[device] for device in devices}
+        replies: dict[int, dict] = {}
+        flagged: set[int] = set()
+        start = time.monotonic()
+        while pending:
+            ready = mp_connection.wait(list(pending.values()),
+                                       timeout=_POLL_INTERVAL)
+            for conn in ready:
+                device = next(d for d, c in pending.items() if c is conn)
+                try:
+                    tag, payload = conn.recv()
+                except (EOFError, OSError):
+                    self._replica_lost(device, phase, iteration)
+                if tag == "err":
+                    self._replica_lost(device, phase, iteration,
+                                       detail=str(payload))
+                replies[device] = payload
+                del pending[device]
+            for device, conn in list(pending.items()):
+                if not self._procs[device].is_alive() and not conn.poll(0):
+                    self._replica_lost(device, phase, iteration)
+            waited = time.monotonic() - start
+            if pending and waited >= self.timeout:
+                for device in sorted(set(pending) - flagged):
+                    flagged.add(device)
+                    event = {"device": device, "phase": phase,
+                             "iteration": iteration,
+                             "waited": round(waited, 3),
+                             "timeout": self.timeout}
+                    self.straggler_events.append(event)
+                    self.trainer.tracer.emit(
+                        STRAGGLER_DETECTED, iteration=iteration,
+                        device=device, phase=phase,
+                        waited=round(waited, 3), timeout=self.timeout)
+                if waited >= self.hard_timeout:
+                    stuck = sorted(pending)
+                    self.close()
+                    raise CollectiveTimeoutError(
+                        f"collective {phase!r} timed out after {waited:.1f}s "
+                        f"waiting for replicas {stuck}")
+        return replies
+
+    def _replica_lost(self, device: int, phase: str, iteration: int | None,
+                      detail: str = ""):
+        """Abort cleanly: record the loss, tear down, raise."""
+        self.trainer.tracer.emit(REPLICA_LOST, iteration=iteration,
+                                 device=device, phase=phase)
+        self.close()
+        raise ReplicaLostError(device, phase, detail)

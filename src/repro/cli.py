@@ -4,8 +4,10 @@ Mirrors the paper artifact's entry points (train a workload, replay an
 injection, evaluate the technique) as subcommands::
 
     python -m repro train resnet --iterations 60
+    python -m repro train resnet --backend multiprocess --devices 2
     python -m repro inject resnet --site 1.conv1 --kind weight_grad \\
         --group 1 --iteration 20 --device 1
+    python -m repro inject resnet --kind comm --bit 30 --iteration 20
     python -m repro campaign resnet --experiments 40
     python -m repro campaign resnet --experiments 400 --parallel 4 \\
         --store results.jsonl --resume --progress-every 20 --trace --detect
@@ -29,6 +31,7 @@ import argparse
 import sys
 
 from repro.accelerator.ffs import FFDescriptor
+from repro.backend import BACKEND_NAMES, MultiProcessBackend
 from repro.core.analysis.classify import classify_outcome
 from repro.core.analysis.report import (
     campaign_report_dict,
@@ -37,7 +40,10 @@ from repro.core.analysis.report import (
     render_trace_analysis,
 )
 from repro.core.faults import (
+    COMM,
+    LINK_SITE,
     Campaign,
+    CommFaultInjector,
     FaultInjector,
     HardwareFault,
     OpSite,
@@ -65,16 +71,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--devices", type=int, default=4,
                         help="simulated training devices (default: 4)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES),
+                        default="inprocess",
+                        help="execution backend: 'inprocess' simulates the "
+                             "replicas in one process, 'multiprocess' runs "
+                             "one OS process per replica over shared memory "
+                             "(bit-identical results; default: inprocess)")
+
+
+def _make_backend(args, replica_trace: bool = True):
+    """The backend argument for a trainer built from CLI args.
+
+    Returns the plain backend name except for ``--backend multiprocess``
+    combined with ``--trace PATH``, where a configured instance carrying
+    the trace path is built so each replica process streams its own
+    flight-recorder shard next to the exported trace.
+    """
+    name = getattr(args, "backend", "inprocess")
+    if name != "multiprocess":
+        return name
+    trace = getattr(args, "trace", None)
+    trace_path = trace if (replica_trace and isinstance(trace, str)) else None
+    return MultiProcessBackend(trace_path=trace_path)
 
 
 def _make_trainer(args, eval_device: int = 0,
                   stop_on_nonfinite: bool = True,
-                  tracer: Tracer | None = None) -> SyncDataParallelTrainer:
+                  tracer: Tracer | None = None,
+                  replica_trace: bool = True) -> SyncDataParallelTrainer:
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     return SyncDataParallelTrainer(
         spec, num_devices=args.devices, seed=args.seed,
         test_every=max(spec.iterations // 6, 1), eval_device=eval_device,
         stop_on_nonfinite=stop_on_nonfinite, tracer=tracer,
+        backend=_make_backend(args, replica_trace=replica_trace),
     )
 
 
@@ -102,9 +132,28 @@ def _make_fault(args) -> HardwareFault:
         ff = FFDescriptor("global_control", group=args.group, has_feedback=True)
     else:
         ff = FFDescriptor("local_control", has_feedback=True)
-    return HardwareFault(ff=ff, site=OpSite(args.site, args.kind),
+    if args.kind == COMM:
+        # Link faults hit the one logical reduction link, not a layer.
+        site = OpSite(LINK_SITE, COMM)
+    else:
+        site = OpSite(args.site, args.kind)
+    return HardwareFault(ff=ff, site=site,
                          iteration=args.iteration, device=args.device,
                          seed=args.fault_seed)
+
+
+def _make_injector(fault: HardwareFault):
+    """The right injector hook for the fault's site kind."""
+    if fault.site.kind == COMM:
+        return CommFaultInjector(fault)
+    return FaultInjector(fault)
+
+
+def _report_replica_trace(trainer) -> None:
+    """Print the merged per-replica trace path, if the backend wrote one."""
+    path = getattr(trainer.backend, "replica_trace", None)
+    if path is not None:
+        print(f"replica trace: {path}")
 
 
 # ----------------------------------------------------------------------
@@ -114,10 +163,14 @@ def cmd_train(args) -> int:
     """``repro train``: fault-free training with a text report."""
     tracer = _make_tracer(args, "train")
     trainer = _make_trainer(args, tracer=tracer)
-    trainer.train(args.iterations)
+    try:
+        trainer.train(args.iterations)
+    finally:
+        trainer.close()
     print(render_convergence(trainer.record, every=args.report_every,
                              title=f"{args.workload} fault-free"))
     _export_trace(tracer, args)
+    _report_replica_trace(trainer)
     return 0
 
 
@@ -126,14 +179,20 @@ def cmd_inject(args) -> int:
     tracer = _make_tracer(args, "inject")
     trainer = _make_trainer(args, eval_device=args.device,
                             stop_on_nonfinite=False, tracer=tracer)
-    reference = _make_trainer(args)
+    # The clean reference never writes replica shards: both trainers
+    # share the --trace directory and the shards are per-device files.
+    reference = _make_trainer(args, replica_trace=False)
     reference.stop_on_nonfinite = True
     fault = _make_fault(args)
-    injector = FaultInjector(fault)
+    injector = _make_injector(fault)
     trainer.add_hook(injector)
     total = args.iterations
-    trainer.train(total)
-    reference.train(total)
+    try:
+        trainer.train(total)
+        reference.train(total)
+    finally:
+        trainer.close()
+        reference.close()
     print(render_convergence(trainer.record, every=args.report_every,
                              title=f"{args.workload} + {fault.describe()}"))
     if injector.record is not None:
@@ -142,6 +201,7 @@ def cmd_inject(args) -> int:
     report = classify_outcome(trainer.record, reference.record, fault.iteration)
     print(f"outcome: {report.outcome.value} (unexpected: {report.is_unexpected})")
     _export_trace(tracer, args)
+    _report_replica_trace(trainer)
     return 0
 
 
@@ -171,7 +231,7 @@ def cmd_campaign(args) -> int:
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
                         test_every=max(spec.iterations // 6, 1),
-                        detect=args.detect)
+                        detect=args.detect, backend=args.backend)
     result = campaign.run(
         args.experiments, seed=args.campaign_seed,
         parallel=args.parallel, store=args.store, resume=args.resume,
@@ -276,19 +336,22 @@ def cmd_mitigate(args) -> int:
                             stop_on_nonfinite=False, tracer=tracer)
     fault = _make_fault(args)
     detector = HardwareFailureDetector()
-    trainer.add_hook(FaultInjector(fault))
+    trainer.add_hook(_make_injector(fault))
     trainer.add_hook(MitigationHook(detector, RecoveryManager(strategy=args.strategy)))
-    trainer.train(args.iterations)
+    try:
+        trainer.train(args.iterations)
+    finally:
+        trainer.close()
     print(render_convergence(trainer.record, every=args.report_every,
                              title=f"{args.workload} + fault + mitigation"))
     if detector.fired:
         print(f"\ndetected at iteration {detector.fired_at()} "
               f"(latency {detector.detection_latency(fault.iteration)}), "
               f"re-executed from {trainer.record.recoveries}")
-        _export_trace(tracer, args)
-        return 0
-    print("\nno detection event (the fault was masked or benign)")
+    else:
+        print("\nno detection event (the fault was masked or benign)")
     _export_trace(tracer, args)
+    _report_replica_trace(trainer)
     return 0
 
 
@@ -386,6 +449,7 @@ def cmd_profile(args) -> int:
     """``repro profile``: time the hot paths over a short traced run."""
     PROFILER.reset()
     PROFILER.enable()
+    trainer = None
     try:
         trainer = _make_trainer(args, stop_on_nonfinite=False)
         # The mitigation hook exercises the snapshot/restore scopes too,
@@ -394,6 +458,8 @@ def cmd_profile(args) -> int:
                                         RecoveryManager(strategy="snapshot")))
         trainer.train(args.iterations)
     finally:
+        if trainer is not None:
+            trainer.close()
         PROFILER.disable()
     print(f"# profile: {args.workload} ({args.devices} devices, "
           f"{args.iterations} iterations)")
@@ -431,7 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--site", default="1.conv1",
                        help="op-site module name (default: 1.conv1)")
         p.add_argument("--kind", default="weight_grad",
-                       choices=["forward", "weight_grad", "input_grad"])
+                       choices=["forward", "weight_grad", "input_grad", "comm"],
+                       help="op-site kind; 'comm' injects a link fault into "
+                            "the in-flight reduced gradient (ignores --site)")
         p.add_argument("--group", type=int, choices=range(1, 11),
                        help="global control fault group (Table 1)")
         p.add_argument("--bit", type=int,

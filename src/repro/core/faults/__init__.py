@@ -6,6 +6,7 @@ from repro.core.faults.campaign import (
     ExperimentResult,
     InferenceCampaign,
 )
+from repro.core.faults.comm import COMM, LINK_SITE, CommFaultInjector
 from repro.core.faults.hardware import (
     FORWARD,
     INPUT_GRAD,
@@ -36,13 +37,16 @@ from repro.core.faults.sweep import SweepAxis, SweepResult, run_sweep
 from repro.core.faults.validation import ValidationSummary, run_validation
 
 __all__ = [
+    "COMM",
     "FORWARD",
     "GLOBAL_GROUP_MODELS",
     "INPUT_GRAD",
+    "LINK_SITE",
     "SITE_KINDS",
     "WEIGHT_GRAD",
     "Campaign",
     "CampaignResult",
+    "CommFaultInjector",
     "DatapathBitFlip",
     "ExperimentResult",
     "FaultInjector",

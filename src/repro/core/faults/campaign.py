@@ -155,10 +155,15 @@ class Campaign:
         site_kinds: tuple[str, ...] = SITE_KINDS,
         keep_records: bool = False,
         detect: bool = False,
+        backend: str = "inprocess",
     ):
         self.spec = spec
         self.num_devices = int(num_devices)
         self.seed = int(seed)
+        #: Execution backend name for every trainer the campaign builds
+        #: (see :mod:`repro.backend`); experiment outcomes are
+        #: bit-identical under either, so stored results stay comparable.
+        self.backend = backend
         self.warmup_iterations = (
             spec.iterations // 3 if warmup_iterations is None else int(warmup_iterations)
         )
@@ -193,6 +198,7 @@ class Campaign:
             test_every=self.test_every,
             eval_device=eval_device,
             tracer=tracer,
+            backend=self.backend,
         )
 
     def _ensure_site_model(self) -> None:
@@ -207,12 +213,18 @@ class Campaign:
             return
         self._ensure_site_model()
         trainer = self._new_trainer()
-        trainer.train(self.warmup_iterations)
-        self._snapshot = Checkpoint.capture(trainer)
-        self._warmup_record = trainer.record
-        # Fault-free reference continuation over the full horizon.
-        trainer.train(self.horizon)
-        self.reference = trainer.record
+        try:
+            trainer.train(self.warmup_iterations)
+            self._snapshot = Checkpoint.capture(trainer)
+            self._warmup_record = trainer.record
+            # Fault-free reference continuation over the full horizon.
+            trainer.train(self.horizon)
+            self.reference = trainer.record
+        finally:
+            # Release the backend now: for the multiprocess backend this
+            # stops the baseline's replica processes before the engine
+            # forks its workers.
+            trainer.close()
 
     # ------------------------------------------------------------------
     # One experiment
@@ -255,7 +267,10 @@ class Campaign:
         if self.detect:
             trainer.add_hook(HardwareFailureDetector())
         remaining = self.warmup_iterations + self.horizon - trainer.iteration
-        trainer.train(remaining)
+        try:
+            trainer.train(remaining)
+        finally:
+            trainer.close()
         report = classify_outcome(
             trainer.record, self.reference, fault.iteration, self.thresholds
         )
@@ -358,7 +373,10 @@ class Campaign:
         engine = CampaignEngine(
             self._engine_runner,
             EngineConfig(parallel=int(parallel), timeout=timeout,
-                         max_retries=int(max_retries), trace=trace),
+                         max_retries=int(max_retries), trace=trace,
+                         # Multiprocess-backend experiments spawn replica
+                         # processes, which daemonic workers may not do.
+                         worker_daemon=(self.backend == "inprocess")),
             store=store_obj, on_progress=on_progress, tracer=tracer)
         try:
             report = engine.run(self._work_units(faults))
@@ -389,7 +407,10 @@ class InferenceCampaign:
         self.seed = int(seed)
         trainer = SyncDataParallelTrainer(spec, num_devices=num_devices, seed=seed,
                                           test_every=0)
-        trainer.train(train_iterations or spec.iterations)
+        try:
+            trainer.train(train_iterations or spec.iterations)
+        finally:
+            trainer.close()
         self.model = trainer.master
         self.inventory = FFInventory()
 

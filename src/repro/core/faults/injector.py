@@ -105,6 +105,42 @@ class FaultInjector:
         return faulty
 
     # ------------------------------------------------------------------
+    # Arming (shared by the trainer-hook path and the backend's
+    # replica-process path)
+    # ------------------------------------------------------------------
+    def arm(self, trainer, replica) -> None:
+        """Arm the fault hook on ``replica``'s target module."""
+        module = resolve_site_module(trainer, replica, self.fault.site.module_name)
+        module.set_fault_hook(self.fault.site.kind, self._fault_hook)
+        self._armed_module = module
+
+    def disarm(self) -> None:
+        if self._armed_module is not None:
+            self._armed_module.set_fault_hook(self.fault.site.kind, None)
+            self._armed_module = None
+
+    # ------------------------------------------------------------------
+    # Crossing a process boundary (multi-process backend)
+    # ------------------------------------------------------------------
+    def export_device_fault(self, iteration: int):
+        """Export this injection as a serializable plan, or ``None``.
+
+        Called by backends whose device work runs in another process: a
+        fresh injector built from ``(fault, config)`` over there draws
+        the identical perturbation (the rng is seeded from the fault).
+        """
+        if iteration != self.fault.iteration or self.fired:
+            return None
+        return (self.fault.device, self.fault, self.config)
+
+    def absorb_device_fault(self, fired: bool, record) -> None:
+        """Take back the replica-side execution result, so ``fired`` /
+        ``record`` state and trace emission match the in-process path."""
+        if fired:
+            self.fired = True
+            self.record = record
+
+    # ------------------------------------------------------------------
     # Trainer hook interface
     # ------------------------------------------------------------------
     def before_iteration(self, trainer, iteration: int) -> None:
@@ -116,22 +152,24 @@ class FaultInjector:
                 f"fault targets device {self.fault.device} but trainer has "
                 f"{trainer.num_devices} devices"
             )
-        replica = trainer.replicas[self.fault.device]
-        module = resolve_site_module(trainer, replica, self.fault.site.module_name)
-        module.set_fault_hook(self.fault.site.kind, self._fault_hook)
-        self._armed_module = module
+        backend = getattr(trainer, "backend", None)
+        if backend is not None and not getattr(backend, "local_device_work", True):
+            # Device work runs in a replica process; the backend ships
+            # this injection there as a DeviceFaultPlan (see
+            # export_device_fault) instead of arming a parent-side
+            # module that never computes.
+            return
+        self.arm(trainer, trainer.replicas[self.fault.device])
 
     def after_iteration(self, trainer, iteration: int, loss: float, acc: float) -> None:
         """Trainer hook: disarm after the iteration completes."""
-        if self._armed_module is not None:
-            self._armed_module.set_fault_hook(self.fault.site.kind, None)
-            self._armed_module = None
-            # Emit once per actual injection: a recovery rewind re-arms
-            # this hook for the re-executed iteration, but the transient
-            # fault does not recur (self.fired stays set).
-            if self.fired and not self._emitted:
-                self._emitted = True
-                _emit_injection(trainer, self.fault, self.record, op="site")
+        self.disarm()
+        # Emit once per actual injection: a recovery rewind re-arms
+        # this hook for the re-executed iteration, but the transient
+        # fault does not recur (self.fired stays set).
+        if self.fired and not self._emitted:
+            self._emitted = True
+            _emit_injection(trainer, self.fault, self.record, op="site")
 
 
 class UpdateFaultInjector:

@@ -183,7 +183,7 @@ class RecoveryManager:
                         "invertible; use the snapshot recovery strategy"
                     )
         trainer.iteration = target
-        trainer._broadcast_weights()
+        trainer.backend.broadcast()
         return target
 
     @staticmethod

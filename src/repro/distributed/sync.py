@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend.base import ReplicaLostError, build_backend
+from repro.backend.base import reseed_random_layers  # noqa: F401  (re-export)
 from repro.data.loader import BatchLoader
-from repro.nn.linear import Dropout
 from repro.nn.module import Module
 from repro.nn.normalization import max_moving_variance
 from repro.observe import DIVERGENCE, ITERATION_STATS, NULL_TRACER, profile_scope
@@ -28,17 +29,6 @@ from repro.optim.base import Optimizer
 from repro.state import build_arenas
 from repro.training.metrics import ConvergenceRecord
 from repro.workloads.base import WorkloadSpec
-
-
-def reseed_random_layers(model: Module, seed: int) -> None:
-    """Reseed every stochastic layer (currently Dropout) in a model.
-
-    Implements requirement (3) of the paper's recovery technique: random
-    draws must be reproducible when an iteration is re-executed.
-    """
-    for index, module in enumerate(model.modules()):
-        if isinstance(module, Dropout):
-            module.reseed((seed, index))
 
 
 class SyncDataParallelTrainer:
@@ -66,6 +56,7 @@ class SyncDataParallelTrainer:
         stop_on_nonfinite: bool = True,
         hooks: list | None = None,
         tracer=None,
+        backend="inprocess",
     ):
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1: {num_devices}")
@@ -94,14 +85,15 @@ class SyncDataParallelTrainer:
         self.optimizer: Optimizer = spec.build_optimizer(list(self.master.parameters()))
         if self.master_arena is not None:
             self.optimizer.bind_arena(self.master_arena)
-            self._grad_accum = self.master_arena.scratch()
-        else:
-            self._grad_accum = None
         self.losses = [spec.loss_fn() for _ in range(num_devices)]
         self.loader = BatchLoader(spec.train_data, spec.batch_size, base_seed=seed)
         self.record = ConvergenceRecord()
         self.iteration = 0
         self._just_recovered = False
+        #: The execution substrate (see :mod:`repro.backend`): device
+        #: stepping, gradient reduction, and weight broadcast happen
+        #: there; hook dispatch and the optimizer step stay here.
+        self.backend = build_backend(backend, self)
 
     # ------------------------------------------------------------------
     # Hook dispatch
@@ -118,73 +110,24 @@ class SyncDataParallelTrainer:
     # ------------------------------------------------------------------
     # Core iteration
     # ------------------------------------------------------------------
-    def _broadcast_weights(self) -> None:
-        """Copy master parameters into every other replica — one fused
-        buffer copy per replica when arenas are available."""
-        if self.arenas is not None:
-            master = self.master_arena.param
-            for arena in self.arenas[1:]:
-                np.copyto(arena.param, master)
-            return
-        master_params = list(self.master.parameters())
-        for replica in self.replicas[1:]:
-            for p_master, p_replica in zip(master_params, replica.parameters()):
-                np.copyto(p_replica.data, p_master.data)
-
     def run_iteration(self, iteration: int) -> tuple[float, float]:
         """Run one synchronous training iteration; returns (loss, acc).
 
         The returned loss/accuracy are averaged over device shards, as a
-        central parameter server would observe them.
+        central parameter server would observe them.  Device stepping
+        and gradient reduction are delegated to the execution backend;
+        hook dispatch and the optimizer step happen here, so the hook
+        contract is identical under every backend.
         """
         self._dispatch("before_iteration", iteration)
-        fused = self.arenas is not None
-        if fused:
-            grad_accum = self._grad_accum
-            grad_accum.fill(0.0)
-        else:
-            master_params = list(self.master.parameters())
-            grad_sums = [np.zeros_like(p.data) for p in master_params]
-        total_loss = 0.0
-        total_acc = 0.0
-        for device in range(self.num_devices):
-            model = self.replicas[device]
-            model.train()
-            reseed_random_layers(model, (self.seed, iteration, device))
-            x, y = self.loader.shard_batch_at(iteration, device, self.num_devices)
-            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-                out = model.forward(x)
-                loss = self.losses[device].forward(out, y)
-                if fused:
-                    self.arenas[device].grad.fill(0.0)
-                else:
-                    model.zero_grad()
-                model.backward(self.losses[device].backward())
-            total_loss += loss
-            total_acc += self.spec.metric(out, y)
-            with np.errstate(over="ignore", invalid="ignore"):
-                if fused:
-                    grad_accum += self.arenas[device].grad
-                else:
-                    for g_sum, param in zip(grad_sums, model.parameters()):
-                        g_sum += param.grad
-        # Average gradients into the master replica (the "central server"):
-        # one fused axpy instead of a per-parameter loop.
-        inv = 1.0 / self.num_devices
-        with profile_scope("sync.grad_average"), \
-                np.errstate(over="ignore", invalid="ignore"):
-            if fused:
-                np.multiply(grad_accum, inv, out=self.master_arena.grad)
-            else:
-                for param, g_sum in zip(master_params, grad_sums):
-                    param.grad = (g_sum * inv).astype(np.float32)
+        loss, acc = self.backend.step(iteration)
         self._dispatch("after_backward", iteration)
         with profile_scope("optim.step"):
             self.optimizer.step()
         self._dispatch("after_step", iteration)
         with profile_scope("sync.broadcast"):
-            self._broadcast_weights()
-        return total_loss / self.num_devices, total_acc / self.num_devices
+            self.backend.broadcast()
+        return loss, acc
 
     def evaluate(self, device: int | None = None, max_batches: int | None = None) -> float:
         """Test metric on the chosen device's replica (eval mode).
@@ -230,8 +173,11 @@ class SyncDataParallelTrainer:
     def signal_recovered(self) -> None:
         """Called by a recovery hook after it rewinds training state: the
         just-recorded iteration has been rolled back, so the training loop
-        must not act on its (possibly non-finite) loss."""
+        must not act on its (possibly non-finite) loss.  The backend is
+        notified so state living outside this process (per-replica
+        BatchNorm statistics in replica processes) is resynchronized."""
         self._just_recovered = True
+        self.backend.on_state_restored()
 
     def _state_is_finite(self, loss: float) -> bool:
         if not np.isfinite(loss):
@@ -258,7 +204,13 @@ class SyncDataParallelTrainer:
         end = self.iteration + budget
         while self.iteration < end:
             t = self.iteration
-            loss, acc = self.run_iteration(t)
+            try:
+                loss, acc = self.run_iteration(t)
+            except ReplicaLostError as lost:
+                # A replica process died mid-collective; the backend has
+                # already torn itself down and emitted the trace event.
+                self.record.mark_replica_lost(t, lost.device)
+                break
             hist = self.history_magnitude() if self.track_conditions else None
             mvar = self.mvar_magnitude() if self.track_conditions else None
             self.record.record_train(t, loss, acc, hist, mvar)
@@ -279,3 +231,17 @@ class SyncDataParallelTrainer:
                 if self.stop_on_nonfinite:
                     break
         return self.record
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the execution backend (replica processes, shared
+        memory).  The trainer state remains readable afterwards."""
+        self.backend.close()
+
+    def __enter__(self) -> "SyncDataParallelTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

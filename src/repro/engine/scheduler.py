@@ -68,6 +68,12 @@ class EngineConfig:
     #: shard file next to the result store (required), merged into one
     #: campaign trace when the run ends.
     trace: bool = False
+    #: Run workers as daemons (killed with the parent, the safe default).
+    #: Must be False when the runner itself spawns processes — e.g. the
+    #: multiprocess execution backend's replicas — because daemonic
+    #: processes may not have children; the engine still sentinels,
+    #: joins, and kills its workers on every exit path.
+    worker_daemon: bool = True
 
 
 @dataclass
@@ -103,7 +109,7 @@ class _WorkerHandle:
 
     def __init__(self, worker_id: int, ctx, runner_factory, result_queue,
                  trace_path: Path | None = None,
-                 outcome_field: str = "outcome"):
+                 outcome_field: str = "outcome", daemon: bool = True):
         self.id = worker_id
         self.queue = ctx.Queue()
         self.ready = False
@@ -113,7 +119,7 @@ class _WorkerHandle:
             target=worker_main,
             args=(worker_id, runner_factory, self.queue, result_queue,
                   trace_path, outcome_field),
-            daemon=True,
+            daemon=daemon,
         )
         self.process.start()
 
@@ -320,7 +326,8 @@ class CampaignEngine:
                           if self._trace_dir is not None else None)
             handle = _WorkerHandle(next_worker_id, ctx, self.runner_factory,
                                    result_queue, trace_path=trace_path,
-                                   outcome_field=self.config.outcome_field)
+                                   outcome_field=self.config.outcome_field,
+                                   daemon=self.config.worker_daemon)
             workers[handle.id] = handle
             next_worker_id += 1
 

@@ -106,24 +106,30 @@ def worker_main(worker_id: int, runner_factory, task_queue, result_queue,
             tracer.close()
         return
     result_queue.put((READY, worker_id, None))
-    while True:
-        task = task_queue.get()
-        if task is None:
-            break
-        key, payload = task
-        if capture is not None:
-            capture.start(key)
-        try:
-            with profile_scope("engine.experiment"):
-                result = runner(payload)
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            key, payload = task
             if capture is not None:
-                capture.done(result)
-            result_queue.put((DONE, worker_id, (key, result)))
-        except BaseException as exc:  # noqa: BLE001 - one bad unit must not kill the pool
-            error = f"{type(exc).__name__}: {exc}"
-            if capture is not None:
-                capture.error(error)
-            result_queue.put((ERROR, worker_id, (key, error)))
-    if tracer is not None:
-        set_current_tracer(None)
-        tracer.close()
+                capture.start(key)
+            try:
+                with profile_scope("engine.experiment"):
+                    result = runner(payload)
+                if capture is not None:
+                    capture.done(result)
+                result_queue.put((DONE, worker_id, (key, result)))
+            except BaseException as exc:  # noqa: BLE001 - one bad unit must not kill the pool
+                error = f"{type(exc).__name__}: {exc}"
+                if capture is not None:
+                    capture.error(error)
+                result_queue.put((ERROR, worker_id, (key, error)))
+    finally:
+        # The shard must be closed (and the process-wide tracer reset)
+        # even if the task queue itself raises — e.g. the parent died
+        # and the queue pipe broke — so the flight-recorder shard stays
+        # readable up to the last completed unit.
+        if tracer is not None:
+            set_current_tracer(None)
+            tracer.close()

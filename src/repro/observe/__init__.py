@@ -42,18 +42,24 @@ from repro.observe.events import (
     EXPERIMENT_STARTED,
     FAULT_INJECTED,
     ITERATION_STATS,
+    REPLICA_LOST,
+    REPLICA_STEP,
     ROLLBACK,
+    STRAGGLER_DETECTED,
     TRACE_SCHEMA_VERSION,
     TraceEvent,
     TraceFormatError,
     TraceSchemaError,
 )
 from repro.observe.merge import (
+    REPLICA_SHARD_PREFIX,
     SHARD_PREFIX,
     TraceMergeResult,
     campaign_trace_path,
     merge_campaign_shards,
     merge_traces,
+    replica_shard_path,
+    replica_trace_path,
     shard_path,
     shard_paths,
 )
@@ -86,8 +92,12 @@ __all__ = [
     "NULL_TRACER",
     "PROFILER",
     "REGISTRY",
+    "REPLICA_LOST",
+    "REPLICA_SHARD_PREFIX",
+    "REPLICA_STEP",
     "ROLLBACK",
     "SHARD_PREFIX",
+    "STRAGGLER_DETECTED",
     "TRACE_SCHEMA_VERSION",
     "Counter",
     "Histogram",
@@ -111,6 +121,8 @@ __all__ = [
     "profile_scope",
     "read_trace",
     "render_profile",
+    "replica_shard_path",
+    "replica_trace_path",
     "set_current_tracer",
     "set_metrics_enabled",
     "shard_path",

@@ -145,6 +145,30 @@ class StateArena:
         """A fresh unmanaged buffer with the arena's layout."""
         return np.empty(self.total, dtype=np.float32)
 
+    def rebind_segment(self, name: str, buffer: np.ndarray) -> np.ndarray:
+        """Swap a segment's backing storage (e.g. into shared memory).
+
+        The current contents are copied into ``buffer``, the segment map
+        is repointed, and — for the ``param``/``grad`` segments — every
+        parameter's ``data``/``grad`` view is rebound so layer code keeps
+        mutating the new storage.  Returns the old backing buffer.
+        """
+        if buffer.dtype != np.float32 or buffer.size != self.total:
+            raise ArenaLayoutError(
+                f"segment {name!r} needs a float32 buffer of "
+                f"{self.total} elements, got {buffer.dtype}[{buffer.size}]"
+            )
+        old = self.segments[name]
+        np.copyto(buffer, old.ravel())
+        self.segments[name] = buffer
+        if name in (PARAM_SEGMENT, GRAD_SEGMENT):
+            for param, view in zip(self.parameters, self.views(name)):
+                if name == PARAM_SEGMENT:
+                    param.data = view
+                else:
+                    param.grad = view
+        return old
+
     # ------------------------------------------------------------------
     # The stable name index
     # ------------------------------------------------------------------

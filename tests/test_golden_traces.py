@@ -54,20 +54,28 @@ def state_digest(trainer) -> str:
     return h.hexdigest()
 
 
+@pytest.mark.parametrize("backend", ["inprocess", "multiprocess"])
 @pytest.mark.parametrize("case", load_cases(), ids=lambda c: c["workload"])
-def test_training_is_bit_identical_to_golden_trace(case):
+def test_training_is_bit_identical_to_golden_trace(case, backend):
+    """Both execution backends must reproduce the pre-refactor traces:
+    the multi-process runtime's collectives are order-pinned to the
+    central-server arithmetic these goldens were recorded with."""
     spec = build_workload(case["workload"], size="tiny", seed=0)
     trainer = SyncDataParallelTrainer(
         spec,
         num_devices=case["num_devices"],
         seed=0,
         test_every=case["test_every"],
+        backend=backend,
     )
     # The golden traces were recorded pre-refactor; this run must take
     # the fused path to prove the fused path is numerically invisible.
     assert trainer.arenas is not None, "state arena was not built"
 
-    trainer.train(case["iterations"])
+    try:
+        trainer.train(case["iterations"])
+    finally:
+        trainer.close()
 
     record = trainer.record
     for field, attr in TRACE_FIELDS:
