@@ -36,7 +36,7 @@ from repro.nn.linear import Dropout
 from repro.nn.module import Module
 
 #: Canonical backend names, in CLI order.
-BACKEND_NAMES = ("inprocess", "multiprocess")
+BACKEND_NAMES = ("inprocess", "multiprocess", "batched")
 
 #: Hook applied to the in-flight reduced gradient buffer (the comm-fault
 #: injection site); returns the possibly perturbed buffer.
@@ -260,6 +260,7 @@ def build_backend(backend, trainer) -> ExecutionBackend:
     constructed :class:`ExecutionBackend` (the way to pass options such
     as collective timeouts or chaos plans).
     """
+    from repro.backend.batched import BatchedBackend
     from repro.backend.inprocess import InProcessBackend
     from repro.backend.multiprocess import MultiProcessBackend
 
@@ -270,6 +271,8 @@ def build_backend(backend, trainer) -> ExecutionBackend:
         built = InProcessBackend()
     elif backend == "multiprocess":
         built = MultiProcessBackend()
+    elif backend == "batched":
+        built = BatchedBackend()
     else:
         raise ValueError(
             f"unknown execution backend {backend!r}; known: "

@@ -1,0 +1,383 @@
+"""Experiment-batched execution backend: E experiments, one program.
+
+The multiprocess backend parallelizes *devices* and loses to the
+in-process loop on the paper's tiny NumPy models (IPC dominates).  This
+backend scales the axis fault-injection campaigns actually consume —
+*experiments* — by stacking E experiments x D devices into ``(E * D,
+...)`` lane tensors and stepping them all with single vectorized NumPy
+ops (see :mod:`repro.backend.batched_ops` for the kernels and
+:mod:`repro.state.batched` for the ``(E, ...)`` arena layout).
+
+Bit-identity contract: every experiment in a batch produces exactly the
+traces it would produce alone on
+:class:`~repro.backend.inprocess.InProcessBackend` — same losses, same
+parameter bytes, same injected-fault and rollback behavior.  Three
+design rules deliver that:
+
+* kernels mirror the solo modules op-for-op per lane (batched_ops);
+* the per-experiment phases that are cheap and stateful stay on the solo
+  code path operating on that experiment's arena row views: loss
+  objects, metrics, gradient averaging (the literal in-process reduction
+  per experiment), comm-fault hooks, ``optimizer.step()``, checkpoint
+  capture/rollback;
+* models the kernels cannot mirror fall back to per-lane
+  :func:`~repro.backend.base.device_step` — the solo loop body itself.
+
+A :class:`BatchedBackend` constructed bare owns a private single
+-experiment :class:`LaneGroup`, so ``--backend batched`` drops into any
+trainer (the D device lanes still batch through one program).  Campaigns
+share one group across E trainers and drive them with
+:func:`run_lockstep`, which interleaves the trainers' iterations while
+dispatching each trainer's hooks, records, and finiteness checks in the
+exact order of ``SyncDataParallelTrainer.train``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend, device_step, reseed_random_layers
+from repro.backend.batched_ops import LaneContext, compile_program
+from repro.nn import config
+from repro.nn.config import Precision
+from repro.observe import DIVERGENCE, ITERATION_STATS, profile_scope
+from repro.state import ExperimentStacks
+
+
+class _Member:
+    """One adopted experiment: its trainer, stack rows, and lane data."""
+
+    __slots__ = ("trainer", "exp", "rows", "modules", "accum")
+
+    def __init__(self, trainer, exp: int, rows: list[int],
+                 modules: list[dict], accum: np.ndarray):
+        self.trainer = trainer
+        self.exp = exp
+        self.rows = rows
+        self.modules = modules
+        self.accum = accum
+
+
+class LaneGroup:
+    """E experiments' lanes stepped together through one program.
+
+    Owns the :class:`~repro.state.ExperimentStacks` and the compiled
+    :class:`~repro.backend.batched_ops.BatchedProgram` (compiled once,
+    from the first adopted trainer; all members share one workload
+    layout, which adoption enforces via the arena index).
+    """
+
+    #: Max lanes per kernel sweep.  Stacking amortizes NumPy dispatch
+    #: overhead, but past a point the im2col transients of a sweep spill
+    #: out of cache and large batches get slower, not faster — so one
+    #: compute round walks its experiments in chunks of this many lanes.
+    #: Chunking is invisible numerically: lanes never mix arithmetic.
+    lane_chunk = 8
+
+    def __init__(self, capacity: int = 1):
+        self.stacks = ExperimentStacks(capacity)
+        self._members: dict[int, _Member] = {}
+        self._program = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def adopt(self, trainer) -> _Member:
+        if trainer.arenas is None:
+            raise RuntimeError(
+                "the batched backend requires the fused state arena "
+                "(this workload's parameters could not be fused)")
+        first = self.stacks.param is None
+        exp = self.stacks.adopt(trainer.arenas, trainer.optimizer)
+        member = _Member(
+            trainer=trainer,
+            exp=exp,
+            rows=[self.stacks.row(exp, d) for d in range(trainer.num_devices)],
+            modules=[dict(r.named_modules()) for r in trainer.replicas],
+            accum=trainer.master_arena.scratch(),
+        )
+        self._members[id(trainer)] = member
+        if first:
+            x, _y = trainer.loader.shard_batch_at(0, 0, trainer.num_devices)
+            self._program = compile_program(
+                trainer.master, trainer.master_arena.index, x.shape)
+        return member
+
+    def member(self, trainer) -> _Member:
+        return self._members[id(trainer)]
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the compiled fast path is active (re-checked against
+        the live compute precision every round)."""
+        return (self._program is not None
+                and config.get_compute_precision() is Precision.FP32)
+
+    # ------------------------------------------------------------------
+    # Training rounds
+    # ------------------------------------------------------------------
+    def compute(self, entries: list[tuple]) -> list[tuple[float, float]]:
+        """Run one (forward, loss, backward, reduce) round for every
+        ``(trainer, iteration)`` entry; returns per-entry shard-averaged
+        ``(loss, acc)`` exactly as ``InProcessBackend.step`` would."""
+        if not self.vectorized:
+            return [self._solo_entry(trainer, iteration)
+                    for trainer, iteration in entries]
+        results: list[tuple[float, float]] = []
+        block: list[tuple] = []
+        lanes = 0
+        for entry in entries:
+            devices = entry[0].num_devices
+            if block and lanes + devices > self.lane_chunk:
+                results.extend(self._compute_block(block))
+                block, lanes = [], 0
+            block.append(entry)
+            lanes += devices
+        if block:
+            results.extend(self._compute_block(block))
+        return results
+
+    def _compute_block(self, entries: list[tuple]) -> list[tuple[float, float]]:
+        lane_modules: list[dict] = []
+        rows: list[int] = []
+        xs: list[np.ndarray] = []
+        ys: list[np.ndarray] = []
+        for trainer, iteration in entries:
+            member = self._members[id(trainer)]
+            for d in range(trainer.num_devices):
+                model = trainer.replicas[d]
+                model.train()
+                reseed_random_layers(model, (trainer.seed, iteration, d))
+                x, y = trainer.loader.shard_batch_at(
+                    iteration, d, trainer.num_devices)
+                lane_modules.append(member.modules[d])
+                rows.append(member.rows[d])
+                xs.append(x)
+                ys.append(y)
+        ctx = LaneContext(lane_modules, rows, self.stacks.param,
+                          self.stacks.grad, training=True)
+        x_stack = np.stack(xs)
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            out = self._program.forward(ctx, x_stack)
+            lane_losses = []
+            lane = 0
+            for trainer, _iteration in entries:
+                for d in range(trainer.num_devices):
+                    lane_losses.append(
+                        trainer.losses[d].forward(out[lane], ys[lane]))
+                    lane += 1
+            self.stacks.grad[ctx.rows] = 0.0
+            grad_in = np.stack([
+                trainer.losses[d].backward()
+                for trainer, _iteration in entries
+                for d in range(trainer.num_devices)
+            ])
+            self._program.backward(ctx, grad_in)
+        # Metrics outside the errstate scope, mirroring device_step.
+        results = []
+        lane = 0
+        for trainer, _iteration in entries:
+            total_loss = 0.0
+            total_acc = 0.0
+            for _d in range(trainer.num_devices):
+                total_loss += float(lane_losses[lane])
+                total_acc += float(trainer.spec.metric(out[lane], ys[lane]))
+                lane += 1
+            self._reduce(trainer)
+            results.append((total_loss / trainer.num_devices,
+                            total_acc / trainer.num_devices))
+        return results
+
+    def _reduce(self, trainer) -> None:
+        """The in-process gradient reduction, verbatim, on this
+        experiment's arena row views (including its comm-fault site)."""
+        member = self._members[id(trainer)]
+        accum = member.accum
+        accum.fill(0.0)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for device in range(trainer.num_devices):
+                accum += trainer.arenas[device].grad
+        inv = 1.0 / trainer.num_devices
+        with profile_scope("sync.grad_average"), \
+                np.errstate(over="ignore", invalid="ignore"):
+            np.multiply(accum, inv, out=trainer.master_arena.grad)
+            trainer.backend._apply_comm_fault(trainer.master_arena.grad)
+
+    def _solo_entry(self, trainer, iteration: int) -> tuple[float, float]:
+        """Per-lane fallback: the literal in-process step for one
+        experiment (unbatchable model or non-FP32 precision)."""
+        total_loss = 0.0
+        total_acc = 0.0
+        member = self._members[id(trainer)]
+        accum = member.accum
+        accum.fill(0.0)
+        for device in range(trainer.num_devices):
+            loss, acc = device_step(trainer, device, iteration)
+            total_loss += loss
+            total_acc += acc
+            with np.errstate(over="ignore", invalid="ignore"):
+                accum += trainer.arenas[device].grad
+        inv = 1.0 / trainer.num_devices
+        with profile_scope("sync.grad_average"), \
+                np.errstate(over="ignore", invalid="ignore"):
+            np.multiply(accum, inv, out=trainer.master_arena.grad)
+            trainer.backend._apply_comm_fault(trainer.master_arena.grad)
+        return total_loss / trainer.num_devices, total_acc / trainer.num_devices
+
+    # ------------------------------------------------------------------
+    # Evaluation rounds
+    # ------------------------------------------------------------------
+    def evaluate_many(self, trainers: list) -> list[float]:
+        """Batched mirror of ``SyncDataParallelTrainer.evaluate`` for the
+        trainers' eval-device lanes: same chunking, same per-chunk metric
+        and weight accumulation, one stacked forward per chunk."""
+        if not self.vectorized:
+            return [trainer.evaluate() for trainer in trainers]
+        batch = trainers[0].spec.batch_size
+        n = len(trainers[0].spec.test_data)
+        if any(t.spec.batch_size != batch or len(t.spec.test_data) != n
+               for t in trainers):
+            return [trainer.evaluate() for trainer in trainers]
+        if len(trainers) > self.lane_chunk:
+            scores: list[float] = []
+            for start in range(0, len(trainers), self.lane_chunk):
+                scores.extend(self.evaluate_many(
+                    trainers[start:start + self.lane_chunk]))
+            return scores
+        lane_modules = []
+        rows = []
+        for trainer in trainers:
+            member = self._members[id(trainer)]
+            device = trainer.eval_device
+            trainer.replicas[device].eval()
+            lane_modules.append(member.modules[device])
+            rows.append(member.rows[device])
+        ctx = LaneContext(lane_modules, rows, self.stacks.param,
+                          self.stacks.grad, training=False)
+        metrics: list[list] = [[] for _ in trainers]
+        weights: list[int] = []
+        for start in range(0, n, batch):
+            x_stack = np.stack([
+                t.spec.test_data.inputs[start:start + batch] for t in trainers])
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                out = self._program.forward(ctx, x_stack)
+            for lane, trainer in enumerate(trainers):
+                y = trainer.spec.test_data.targets[start:start + batch]
+                metrics[lane].append(trainer.spec.metric(out[lane], y))
+            weights.append(x_stack.shape[1])
+        for trainer in trainers:
+            trainer.replicas[trainer.eval_device].train()
+        return [
+            float(np.average(m, weights=weights)) if m else 0.0
+            for m in metrics
+        ]
+
+
+class BatchedBackend(ExecutionBackend):
+    """Vectorized experiment-stacked backend (``--backend batched``)."""
+
+    name = "batched"
+    #: Device work happens in this process on parent-side replica
+    #: modules, so injector hooks arm normally (per-lane masking happens
+    #: inside the kernels).
+    local_device_work = True
+
+    def __init__(self, group: LaneGroup | None = None):
+        super().__init__()
+        self._group = group
+
+    @property
+    def group(self) -> LaneGroup | None:
+        return self._group
+
+    def bind(self, trainer) -> None:
+        super().bind(trainer)
+        if self._group is None:
+            self._group = LaneGroup(capacity=1)
+        self._group.adopt(trainer)
+
+    def step(self, iteration: int) -> tuple[float, float]:
+        return self._group.compute([(self.trainer, iteration)])[0]
+
+    def broadcast(self) -> None:
+        trainer = self.trainer
+        master = trainer.master_arena.param
+        for arena in trainer.arenas[1:]:
+            np.copyto(arena.param, master)
+
+
+class _LockstepRun:
+    __slots__ = ("trainer", "end", "t", "loss", "acc")
+
+    def __init__(self, trainer, end: int):
+        self.trainer = trainer
+        self.end = end
+        self.t = 0
+        self.loss = 0.0
+        self.acc = 0.0
+
+
+def run_lockstep(group: LaneGroup, trainers: list, budgets: list[int]) -> list:
+    """Drive E trainers through ``budgets`` iterations in lockstep.
+
+    Per experiment this replays ``SyncDataParallelTrainer.train`` in its
+    exact order — before_iteration, backend step, after_backward,
+    optimizer step, after_step, broadcast, condition probes, records,
+    trace events, evaluation, after_iteration, recovery/finiteness
+    bookkeeping — so hooks (fault injectors, detectors, recovery) behave
+    identically to a solo run.  Across experiments, iterations advance
+    together; an experiment whose recovery hook rewinds its iteration
+    counter simply trails its batch-mates (batch shards and reseeding are
+    pure functions of the iteration, so divergent counters are exact),
+    and experiments leave the round set when they diverge non-finite or
+    exhaust their budget.  Returns each trainer's ConvergenceRecord.
+    """
+    runs = [_LockstepRun(trainer, trainer.iteration + int(budget))
+            for trainer, budget in zip(trainers, budgets)]
+    active = [run for run in runs if run.trainer.iteration < run.end]
+    while active:
+        for run in active:
+            run.t = run.trainer.iteration
+            run.trainer._dispatch("before_iteration", run.t)
+        results = group.compute([(run.trainer, run.t) for run in active])
+        evaluating: list[_LockstepRun] = []
+        for run, (loss, acc) in zip(active, results):
+            trainer = run.trainer
+            run.loss, run.acc = loss, acc
+            trainer._dispatch("after_backward", run.t)
+            with profile_scope("optim.step"):
+                trainer.optimizer.step()
+            trainer._dispatch("after_step", run.t)
+            with profile_scope("sync.broadcast"):
+                trainer.backend.broadcast()
+            hist = trainer.history_magnitude() if trainer.track_conditions else None
+            mvar = trainer.mvar_magnitude() if trainer.track_conditions else None
+            trainer.record.record_train(run.t, loss, acc, hist, mvar)
+            if trainer.tracer.enabled:
+                trainer.tracer.emit(ITERATION_STATS, iteration=run.t,
+                                    loss=float(loss), acc=float(acc),
+                                    history_magnitude=hist,
+                                    mvar_magnitude=mvar)
+            if trainer.test_every and (run.t + 1) % trainer.test_every == 0:
+                evaluating.append(run)
+        if evaluating:
+            scores = group.evaluate_many([run.trainer for run in evaluating])
+            for run, score in zip(evaluating, scores):
+                run.trainer.record.record_test(run.t, score)
+        still_active: list[_LockstepRun] = []
+        for run in active:
+            trainer = run.trainer
+            trainer._dispatch("after_iteration", run.t, run.loss, run.acc)
+            trainer.iteration += 1
+            if trainer._just_recovered:
+                trainer._just_recovered = False
+            elif not trainer._state_is_finite(run.loss):
+                trainer.record.mark_nonfinite(run.t)
+                trainer.tracer.emit(DIVERGENCE, iteration=run.t,
+                                    loss=float(run.loss))
+                if trainer.stop_on_nonfinite:
+                    continue
+            if trainer.iteration < run.end:
+                still_active.append(run)
+        active = still_active
+    return [run.trainer.record for run in runs]

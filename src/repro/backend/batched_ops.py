@@ -1,0 +1,519 @@
+"""Experiment-stacked vectorized kernels for the batched backend.
+
+One *lane* is one (experiment, device) replica.  A compiled
+:class:`BatchedProgram` runs L lanes' forward/backward as single NumPy
+ops over ``(L, ...)`` stacked tensors, reading parameters from and
+scattering gradients into the :class:`~repro.state.ExperimentStacks`
+row stacks via the arena's ``name -> (offset, size, shape)`` index.
+
+Every kernel is an operation-for-operation mirror of its module's
+``forward`` / ``backward`` (same op order, same dtype casts, same
+``errstate`` scopes), arranged so each per-lane slice of the batched
+computation is **bit-identical** to the solo module applied to that
+lane's tensors:
+
+* reductions move from axis 0 / (0, 2, 3) to axis 1 / (1, 3, 4) — NumPy
+  pairwise summation over the same elements in the same order;
+* matmuls become stacked ``np.matmul`` over ``(L, ...)`` operands, which
+  computes each slice exactly as the solo 2-D ``@``;
+* im2col/col2im fold the lane axis into the batch axis (patch rows stay
+  lane-contiguous blocks, so per-lane slices are unchanged);
+* elementwise ops broadcast per-lane scalars/stats along the lane axis.
+
+Masked fault injection falls out of the lane layout: each lane's peer
+module keeps its armed hooks, and kernels apply ``apply_fault_hook`` to
+exactly that lane's slice of the stacked tensor with the solo call's
+``site_info`` — one program, L differently-injected experiments.  The
+repo's software fault models return fresh float32 arrays of the input
+shape, so writing the hook result back into the slice is exact.
+
+Models containing module types without a kernel here (pooling, dropout,
+attention, ...) are reported unbatchable at compile time and the backend
+falls back to per-lane :func:`~repro.backend.base.device_step` — the
+literal solo code path — so correctness never depends on coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import config
+from repro.nn.activations import ReLU
+from repro.nn.blocks import ResidualBlock
+from repro.nn.config import Precision
+from repro.nn.conv import Conv2D, GlobalAvgPool2D, col2im, conv_output_size, im2col
+from repro.nn.linear import Dense, Flatten
+from repro.nn.module import Module, Sequential
+from repro.nn.normalization import BatchNorm
+
+
+class Unbatchable(Exception):
+    """The model (or its input shape) has no vectorized mirror."""
+
+
+def _pkey(path: str, param: str) -> str:
+    return f"{path}.{param}" if path else param
+
+
+def _jkey(path: str, child: str) -> str:
+    return f"{path}.{child}" if path else child
+
+
+class LaneContext:
+    """One batched call's execution context.
+
+    ``modules`` is the per-lane ``dict(named_modules())`` of each lane's
+    replica (hook application targets); ``rows`` the per-lane row index
+    into the ``(rows, total)`` parameter/gradient stacks.
+    """
+
+    def __init__(self, modules: list[dict], rows, param_stack: np.ndarray,
+                 grad_stack: np.ndarray, training: bool):
+        self.modules = modules
+        self.rows = np.asarray(rows, dtype=np.intp)
+        self.param_stack = param_stack
+        self.grad_stack = grad_stack
+        self.training = bool(training)
+        self._peers: dict[str, list[Module]] = {}
+
+    def peers(self, path: str) -> list[Module]:
+        got = self._peers.get(path)
+        if got is None:
+            got = [mods[path] for mods in self.modules]
+            self._peers[path] = got
+        return got
+
+    def gather(self, entry) -> np.ndarray:
+        """Stack one parameter across lanes: ``(L,) + entry.shape``."""
+        flat = self.param_stack[self.rows, entry.offset:entry.offset + entry.size]
+        return flat.reshape((len(self.modules),) + entry.shape)
+
+    def scatter_add(self, entry, value: np.ndarray) -> None:
+        """Accumulate per-lane gradients into the lanes' grad rows (the
+        same storage as each lane's ``param.grad`` arena view)."""
+        sl = slice(entry.offset, entry.offset + entry.size)
+        self.grad_stack[self.rows, sl] += value.reshape(len(self.modules), -1)
+
+    def apply_hooks(self, path: str, kind: str, stacked: np.ndarray,
+                    **site_info) -> np.ndarray:
+        """Masked injection: apply each lane's armed fault hook (if any)
+        to that lane's slice only, with the solo call's site info."""
+        for lane, peer in enumerate(self.peers(path)):
+            if peer._fault_hooks[kind] is None:
+                continue
+            tensor = stacked[lane]
+            out = peer.apply_fault_hook(kind, tensor, **site_info)
+            if out is not tensor:
+                stacked[lane] = out
+        return stacked
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+class _Op:
+    def __init__(self, path: str):
+        self.path = path
+
+    def infer(self, shape: tuple) -> tuple:
+        """Static per-lane shape propagation; raises :class:`Unbatchable`
+        when this kernel cannot mirror the module on that shape."""
+        return shape
+
+    def forward(self, ctx: LaneContext, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, ctx: LaneContext, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _ConvOp(_Op):
+    """Mirror of :class:`~repro.nn.conv.Conv2D` over stacked lanes."""
+
+    def __init__(self, path: str, module: Conv2D, index: dict):
+        super().__init__(path)
+        self.k = module.kernel_size
+        self.s = module.stride
+        self.p = module.padding
+        self.cin = module.in_channels
+        self.cout = module.out_channels
+        self.use_bias = module.use_bias
+        self.w_entry = index[_pkey(path, "weight")]
+        self.b_entry = index[_pkey(path, "bias")] if module.use_bias else None
+        self._col: np.ndarray | None = None
+        self._in_shape: tuple | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def infer(self, shape):
+        if len(shape) != 4 or shape[1] != self.cin:
+            raise Unbatchable(f"{self.path}: Conv2D expects (n, {self.cin}, h, w), got {shape}")
+        n, _c, h, w = shape
+        return (n, self.cout,
+                conv_output_size(h, self.k, self.s, self.p),
+                conv_output_size(w, self.k, self.s, self.p))
+
+    def forward(self, ctx, x):
+        lanes, n, c, h, w = x.shape
+        k, s, p = self.k, self.s, self.p
+        oh, ow = conv_output_size(h, k, s, p), conv_output_size(w, k, s, p)
+        # Lane axis folds into the batch axis: im2col patch rows stay
+        # lane-contiguous blocks, so per-lane slices match solo im2col.
+        col = im2col(x.reshape(lanes * n, c, h, w), k, k, s, p)
+        col = col.reshape(lanes, n * oh * ow, c * k * k)
+        self._col = col
+        self._in_shape = x.shape
+        self._out_hw = (oh, ow)
+        w_row = ctx.gather(self.w_entry).reshape(lanes, self.cout, -1)
+        out = config.matmul(col, w_row.transpose(0, 2, 1))
+        if self.use_bias:
+            out = out + ctx.gather(self.b_entry)[:, None, :]
+        out = out.reshape(lanes, n, oh, ow, self.cout).transpose(0, 1, 4, 2, 3)
+        out = np.ascontiguousarray(out, dtype=np.float32)
+        return ctx.apply_hooks(self.path, "forward", out)
+
+    def backward(self, ctx, grad):
+        lanes, n, c, h, w = self._in_shape
+        oh, ow = self._out_hw
+        g2 = grad.transpose(0, 1, 3, 4, 2).reshape(lanes, n * oh * ow, self.cout)
+        dw = config.matmul(self._col.transpose(0, 2, 1), g2).astype(np.float32, copy=False)
+        dw = dw.transpose(0, 2, 1).reshape((lanes,) + self.w_entry.shape)
+        dw = ctx.apply_hooks(self.path, "weight_grad", dw, param="weight")
+        ctx.scatter_add(self.w_entry, dw)
+        if self.use_bias:
+            ctx.scatter_add(self.b_entry, g2.sum(axis=1).astype(np.float32, copy=False))
+        w_row = ctx.gather(self.w_entry).reshape(lanes, self.cout, -1)
+        dcol = config.matmul(g2, w_row).astype(np.float32, copy=False)
+        dx = col2im(dcol.reshape(lanes * n * oh * ow, -1), (lanes * n, c, h, w),
+                    self.k, self.k, self.s, self.p)
+        dx = dx.reshape(self._in_shape)
+        # Solo modules keep their im2col cache alive between iterations;
+        # at E experiments that transient is E times larger, so drop it
+        # (memory only — numerics are unaffected).
+        self._col = None
+        return ctx.apply_hooks(self.path, "input_grad", dx)
+
+
+class _BNOp(_Op):
+    """Mirror of :class:`~repro.nn.normalization.BatchNorm` (NCHW).
+
+    Moving statistics stay per-lane module state — they are per-device
+    in the solo trainer (never averaged; the LowTestAccuracy mechanism)
+    and per-experiment here, so the recurrence updates write back into
+    each lane's own ``moving_mean`` / ``moving_var`` arrays.
+    """
+
+    _AXES = (1, 3, 4)  # solo (0, 2, 3) shifted by the lane axis
+
+    def __init__(self, path: str, module: BatchNorm, index: dict):
+        super().__init__(path)
+        self.momentum = module.momentum
+        self.eps = module.eps
+        self.c = module.num_features
+        self.g_entry = index[_pkey(path, "gamma")]
+        self.b_entry = index[_pkey(path, "beta")]
+        self._cache: tuple | None = None
+
+    def infer(self, shape):
+        if len(shape) != 4 or shape[1] != self.c:
+            raise Unbatchable(f"{self.path}: batched BatchNorm supports NCHW only, got {shape}")
+        return shape
+
+    @staticmethod
+    def _e(stat: np.ndarray) -> np.ndarray:
+        """(L, C) per-lane channel stats -> broadcastable over (L, n, C, h, w)."""
+        return stat[:, None, :, None, None]
+
+    def forward(self, ctx, x):
+        peers = ctx.peers(self.path)
+        if ctx.training:
+            with np.errstate(over="ignore", invalid="ignore"):
+                mean = x.mean(axis=self._AXES, dtype=np.float32)
+                var = x.var(axis=self._AXES, dtype=np.float32)
+                mm = np.stack([p.moving_mean for p in peers])
+                mv = np.stack([p.moving_var for p in peers])
+                new_mm = (self.momentum * mm + (1.0 - self.momentum) * mean).astype(np.float32, copy=False)
+                new_mv = (self.momentum * mv + (1.0 - self.momentum) * var).astype(np.float32, copy=False)
+            for lane, peer in enumerate(peers):
+                peer.moving_mean = new_mm[lane].copy()
+                peer.moving_var = new_mv[lane].copy()
+        else:
+            mean = np.stack([p.moving_mean for p in peers])
+            var = np.stack([p.moving_var for p in peers])
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = (x - self._e(mean)) * self._e(inv_std)
+            out = (self._e(ctx.gather(self.g_entry)) * xhat
+                   + self._e(ctx.gather(self.b_entry))).astype(np.float32, copy=False)
+        if ctx.training:
+            self._cache = (xhat, inv_std, x.shape)
+        return ctx.apply_hooks(self.path, "forward", out)
+
+    def backward(self, ctx, grad):
+        xhat, inv_std, shape = self._cache
+        self._cache = None
+        m = float(shape[1] * shape[3] * shape[4])
+        dgamma = (grad * xhat).sum(axis=self._AXES).astype(np.float32, copy=False)
+        dbeta = grad.sum(axis=self._AXES).astype(np.float32, copy=False)
+        dgamma = ctx.apply_hooks(self.path, "weight_grad", dgamma, param="gamma")
+        ctx.scatter_add(self.g_entry, dgamma)
+        ctx.scatter_add(self.b_entry, dbeta)
+        gamma = self._e(ctx.gather(self.g_entry))
+        inv = self._e(inv_std)
+        dxhat = grad * gamma
+        with np.errstate(over="ignore", invalid="ignore"):
+            dx = (
+                inv
+                / m
+                * (
+                    m * dxhat
+                    - dxhat.sum(axis=self._AXES, keepdims=True)
+                    - xhat * (dxhat * xhat).sum(axis=self._AXES, keepdims=True)
+                )
+            ).astype(np.float32, copy=False)
+        return ctx.apply_hooks(self.path, "input_grad", dx)
+
+
+class _ReLUOp(_Op):
+    def __init__(self, path: str):
+        super().__init__(path)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, ctx, x):
+        self._mask = x > 0
+        out = np.where(self._mask, x, 0.0).astype(np.float32, copy=False)
+        return ctx.apply_hooks(self.path, "forward", out)
+
+    def backward(self, ctx, grad):
+        out = np.where(self._mask, grad, 0.0).astype(np.float32, copy=False)
+        self._mask = None
+        return ctx.apply_hooks(self.path, "input_grad", out)
+
+
+class _DenseOp(_Op):
+    def __init__(self, path: str, module: Dense, index: dict):
+        super().__init__(path)
+        self.in_features = module.in_features
+        self.out_features = module.out_features
+        self.use_bias = module.use_bias
+        self.w_entry = index[_pkey(path, "weight")]
+        self.b_entry = index[_pkey(path, "bias")] if module.use_bias else None
+        self._x: np.ndarray | None = None
+
+    def infer(self, shape):
+        if len(shape) != 2 or shape[1] != self.in_features:
+            raise Unbatchable(f"{self.path}: batched Dense expects (n, {self.in_features}), got {shape}")
+        return (shape[0], self.out_features)
+
+    def forward(self, ctx, x):
+        self._x = x
+        w = ctx.gather(self.w_entry)
+        out = config.matmul(x, w)
+        if self.use_bias:
+            out = out + ctx.gather(self.b_entry)[:, None, :]
+        out = out.astype(np.float32, copy=False)
+        return ctx.apply_hooks(self.path, "forward", out)
+
+    def backward(self, ctx, grad):
+        x = self._x
+        self._x = None
+        w = ctx.gather(self.w_entry)
+        dw = config.matmul(x.transpose(0, 2, 1), grad).astype(np.float32, copy=False)
+        dw = ctx.apply_hooks(self.path, "weight_grad", dw, param="weight")
+        ctx.scatter_add(self.w_entry, dw)
+        if self.use_bias:
+            ctx.scatter_add(self.b_entry, grad.sum(axis=1).astype(np.float32, copy=False))
+        dx = config.matmul(grad, w.transpose(0, 2, 1)).astype(np.float32, copy=False)
+        return ctx.apply_hooks(self.path, "input_grad", dx)
+
+
+class _GAPOp(_Op):
+    """Mirror of GlobalAvgPool2D (no fault-hook sites, like solo)."""
+
+    def __init__(self, path: str):
+        super().__init__(path)
+        self._shape: tuple | None = None
+
+    def infer(self, shape):
+        if len(shape) != 4:
+            raise Unbatchable(f"{self.path}: GlobalAvgPool2D expects NCHW, got {shape}")
+        return (shape[0], shape[1])
+
+    def forward(self, ctx, x):
+        self._shape = x.shape
+        return x.mean(axis=(3, 4)).astype(np.float32, copy=False)
+
+    def backward(self, ctx, grad):
+        shape = self._shape
+        scale = 1.0 / (shape[3] * shape[4])
+        return (np.broadcast_to(grad[:, :, :, None, None], shape) * scale).astype(np.float32, copy=False)
+
+
+class _FlattenOp(_Op):
+    def __init__(self, path: str):
+        super().__init__(path)
+        self._shape: tuple | None = None
+
+    def infer(self, shape):
+        flat = 1
+        for dim in shape[1:]:
+            flat *= dim
+        return (shape[0], flat)
+
+    def forward(self, ctx, x):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, ctx, grad):
+        return grad.reshape(self._shape)
+
+
+class _SeqOp(_Op):
+    def __init__(self, path: str, children: list[_Op]):
+        super().__init__(path)
+        self.children = children
+
+    def infer(self, shape):
+        for child in self.children:
+            shape = child.infer(shape)
+        return shape
+
+    def forward(self, ctx, x):
+        for child in self.children:
+            x = child.forward(ctx, x)
+        return x
+
+    def backward(self, ctx, grad):
+        for child in reversed(self.children):
+            grad = child.backward(ctx, grad)
+        return grad
+
+
+class _ResidualOp(_Op):
+    """Mirror of :class:`~repro.nn.blocks.ResidualBlock`."""
+
+    def __init__(self, path: str, module: ResidualBlock, index: dict):
+        super().__init__(path)
+        self.use_bn = module.use_bn
+        self.has_projection = module.has_projection
+        self.conv1 = _ConvOp(_jkey(path, "conv1"), module.conv1, index)
+        self.conv2 = _ConvOp(_jkey(path, "conv2"), module.conv2, index)
+        self.relu1 = _ReLUOp(_jkey(path, "relu1"))
+        self.relu_out = _ReLUOp(_jkey(path, "relu_out"))
+        self.bn1 = _BNOp(_jkey(path, "bn1"), module.bn1, index) if module.use_bn else None
+        self.bn2 = _BNOp(_jkey(path, "bn2"), module.bn2, index) if module.use_bn else None
+        self.proj = None
+        self.proj_bn = None
+        if module.has_projection:
+            self.proj = _ConvOp(_jkey(path, "proj"), module.proj, index)
+            if module.use_bn:
+                self.proj_bn = _BNOp(_jkey(path, "proj_bn"), module.proj_bn, index)
+
+    def infer(self, shape):
+        s = self.conv1.infer(shape)
+        if self.bn1 is not None:
+            s = self.bn1.infer(s)
+        s = self.conv2.infer(self.relu1.infer(s))
+        if self.bn2 is not None:
+            s = self.bn2.infer(s)
+        short = shape
+        if self.proj is not None:
+            short = self.proj.infer(shape)
+            if self.proj_bn is not None:
+                short = self.proj_bn.infer(short)
+        if short != s:
+            raise Unbatchable(f"{self.path}: residual add shapes differ: {s} vs {short}")
+        return self.relu_out.infer(s)
+
+    def forward(self, ctx, x):
+        h = self.conv1.forward(ctx, x)
+        if self.bn1 is not None:
+            h = self.bn1.forward(ctx, h)
+        h = self.relu1.forward(ctx, h)
+        h = self.conv2.forward(ctx, h)
+        if self.bn2 is not None:
+            h = self.bn2.forward(ctx, h)
+        if self.has_projection:
+            shortcut = self.proj.forward(ctx, x)
+            if self.proj_bn is not None:
+                shortcut = self.proj_bn.forward(ctx, shortcut)
+        else:
+            shortcut = x
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = (h + shortcut).astype(np.float32, copy=False)
+        return self.relu_out.forward(ctx, out)
+
+    def backward(self, ctx, grad):
+        grad = self.relu_out.backward(ctx, grad)
+        g_main = grad
+        g_short = grad
+        if self.bn2 is not None:
+            g_main = self.bn2.backward(ctx, g_main)
+        g_main = self.conv2.backward(ctx, g_main)
+        g_main = self.relu1.backward(ctx, g_main)
+        if self.bn1 is not None:
+            g_main = self.bn1.backward(ctx, g_main)
+        g_main = self.conv1.backward(ctx, g_main)
+        if self.has_projection:
+            if self.proj_bn is not None:
+                g_short = self.proj_bn.backward(ctx, g_short)
+            g_short = self.proj.backward(ctx, g_short)
+        with np.errstate(over="ignore", invalid="ignore"):
+            return (g_main + g_short).astype(np.float32, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _compile(module: Module, path: str, index: dict) -> _Op:
+    # Exact type checks: subclasses (ScaledReLU, NF blocks, ...) override
+    # the math, so they must fall back rather than silently mis-mirror.
+    kind = type(module)
+    if kind is Sequential:
+        return _SeqOp(path, [
+            _compile(child, _jkey(path, str(i)), index)
+            for i, child in enumerate(module.layers)
+        ])
+    if kind is Conv2D:
+        return _ConvOp(path, module, index)
+    if kind is BatchNorm:
+        return _BNOp(path, module, index)
+    if kind is ReLU:
+        return _ReLUOp(path)
+    if kind is Dense:
+        return _DenseOp(path, module, index)
+    if kind is GlobalAvgPool2D:
+        return _GAPOp(path)
+    if kind is Flatten:
+        return _FlattenOp(path)
+    if kind is ResidualBlock:
+        return _ResidualOp(path, module, index)
+    raise Unbatchable(f"no batched kernel for module type {kind.__name__!r}")
+
+
+class BatchedProgram:
+    """A compiled model mirror: one forward/backward over stacked lanes."""
+
+    def __init__(self, root: _Op):
+        self.root = root
+
+    def forward(self, ctx: LaneContext, x: np.ndarray) -> np.ndarray:
+        return self.root.forward(ctx, x)
+
+    def backward(self, ctx: LaneContext, grad: np.ndarray) -> np.ndarray:
+        return self.root.backward(ctx, grad)
+
+
+def compile_program(model: Module, index: dict,
+                    sample_shape: tuple) -> BatchedProgram | None:
+    """Compile ``model`` into a batched program, or ``None`` when any
+    module (or the ``sample_shape`` flowing through it) is unbatchable
+    or a non-FP32 compute precision is active — callers then use the
+    per-lane solo fallback."""
+    if config.get_compute_precision() is not Precision.FP32:
+        return None
+    try:
+        root = _compile(model, "", index)
+        root.infer(tuple(sample_shape))
+    except Unbatchable:
+        return None
+    return BatchedProgram(root)

@@ -31,7 +31,7 @@ import argparse
 import sys
 
 from repro.accelerator.ffs import FFDescriptor
-from repro.backend import BACKEND_NAMES, MultiProcessBackend
+from repro.backend import BACKEND_NAMES, MultiProcessBackend, backend_choices_help
 from repro.core.analysis.classify import classify_outcome
 from repro.core.analysis.report import (
     campaign_report_dict,
@@ -73,10 +73,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--backend", choices=list(BACKEND_NAMES),
                         default="inprocess",
-                        help="execution backend: 'inprocess' simulates the "
-                             "replicas in one process, 'multiprocess' runs "
-                             "one OS process per replica over shared memory "
-                             "(bit-identical results; default: inprocess)")
+                        help="execution backend (bit-identical results; "
+                             "default: inprocess) — "
+                             + backend_choices_help())
 
 
 def _make_backend(args, replica_trace: bool = True):
@@ -228,10 +227,15 @@ def cmd_campaign(args) -> int:
         print("--trace requires --store (shards and the merged campaign "
               "trace live next to it)", file=sys.stderr)
         return 2
+    if args.experiment_batch > 1 and args.backend != "batched":
+        print("--experiment-batch requires --backend batched",
+              file=sys.stderr)
+        return 2
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
                         test_every=max(spec.iterations // 6, 1),
-                        detect=args.detect, backend=args.backend)
+                        detect=args.detect, backend=args.backend,
+                        experiment_batch=args.experiment_batch)
     result = campaign.run(
         args.experiments, seed=args.campaign_seed,
         parallel=args.parallel, store=args.store, resume=args.resume,
@@ -521,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("workload", choices=workload_names())
     _add_common(campaign)
     campaign.add_argument("--experiments", type=int, default=30)
+    campaign.add_argument("--experiment-batch", type=int, default=1,
+                          metavar="E",
+                          help="with --backend batched: step E experiments "
+                               "concurrently through one vectorized program "
+                               "(default: 1)")
     campaign.add_argument("--campaign-seed", type=int, default=77)
     campaign.add_argument("--parallel", type=int, default=1,
                           help="worker processes (default: 1 = in-process)")

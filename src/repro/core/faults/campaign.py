@@ -28,6 +28,7 @@ from repro.core.analysis.classify import (
     Outcome,
     OutcomeReport,
     classify_outcome,
+    classify_outcomes,
     outcome_breakdown,
 )
 from repro.core.analysis.propagation import PropagationTracer
@@ -156,14 +157,24 @@ class Campaign:
         keep_records: bool = False,
         detect: bool = False,
         backend: str = "inprocess",
+        experiment_batch: int = 1,
     ):
         self.spec = spec
         self.num_devices = int(num_devices)
         self.seed = int(seed)
         #: Execution backend name for every trainer the campaign builds
         #: (see :mod:`repro.backend`); experiment outcomes are
-        #: bit-identical under either, so stored results stay comparable.
+        #: bit-identical under every backend, so stored results stay
+        #: comparable.
         self.backend = backend
+        #: Experiments stepped together per batched program (the ``E``
+        #: of :mod:`repro.backend.batched`).  Only meaningful with
+        #: ``backend="batched"``.
+        self.experiment_batch = max(int(experiment_batch), 1)
+        if self.experiment_batch > 1 and backend != "batched":
+            raise ValueError(
+                "experiment_batch > 1 requires backend='batched' "
+                f"(got backend={backend!r})")
         self.warmup_iterations = (
             spec.iterations // 3 if warmup_iterations is None else int(warmup_iterations)
         )
@@ -189,8 +200,8 @@ class Campaign:
     # ------------------------------------------------------------------
     # Baseline preparation
     # ------------------------------------------------------------------
-    def _new_trainer(self, eval_device: int = 0,
-                     tracer=None) -> SyncDataParallelTrainer:
+    def _new_trainer(self, eval_device: int = 0, tracer=None,
+                     backend=None) -> SyncDataParallelTrainer:
         return SyncDataParallelTrainer(
             self.spec,
             num_devices=self.num_devices,
@@ -198,7 +209,7 @@ class Campaign:
             test_every=self.test_every,
             eval_device=eval_device,
             tracer=tracer,
-            backend=self.backend,
+            backend=self.backend if backend is None else backend,
         )
 
     def _ensure_site_model(self) -> None:
@@ -284,6 +295,69 @@ class Campaign:
             record=trainer.record if self.keep_records else None,
         )
 
+    def run_experiment_batch(self, faults: list[HardwareFault],
+                             tracer=None) -> list[ExperimentResult]:
+        """Run E experiments concurrently through one batched program.
+
+        Every experiment gets its own trainer, injector hooks, records,
+        and classification — exactly as :meth:`run_experiment` — but all
+        E trainers share one :class:`~repro.backend.batched.LaneGroup`
+        and advance in lockstep, so the NumPy work is E-wide vectorized
+        ops.  Per-experiment results are bit-identical to solo runs
+        (masked injection and rollback isolation are pinned by tests).
+        """
+        from repro.backend.batched import BatchedBackend, LaneGroup, run_lockstep
+        from repro.core.mitigation.detector import HardwareFailureDetector
+        from repro.observe import current_tracer
+
+        if len(faults) == 1:
+            return [self.run_experiment(faults[0], tracer=tracer)]
+        self.prepare()
+        if tracer is None:
+            tracer = current_tracer()
+        group = LaneGroup(capacity=len(faults))
+        trainers: list[SyncDataParallelTrainer] = []
+        injectors: list[FaultInjector] = []
+        ptracers: list[PropagationTracer] = []
+        for fault in faults:
+            trainer = self._new_trainer(
+                eval_device=fault.device, tracer=tracer,
+                backend=BatchedBackend(group=group))
+            self._snapshot.restore(trainer)
+            injector = FaultInjector(fault)
+            ptracer = PropagationTracer()
+            trainer.add_hook(injector)
+            trainer.add_hook(ptracer)
+            if self.detect:
+                trainer.add_hook(HardwareFailureDetector())
+            trainers.append(trainer)
+            injectors.append(injector)
+            ptracers.append(ptracer)
+        budgets = [self.warmup_iterations + self.horizon - t.iteration
+                   for t in trainers]
+        try:
+            run_lockstep(group, trainers, budgets)
+        finally:
+            for trainer in trainers:
+                trainer.close()
+        reports = classify_outcomes(
+            [t.record for t in trainers], self.reference,
+            [f.iteration for f in faults], self.thresholds)
+        results = []
+        for fault, trainer, injector, ptracer, report in zip(
+                faults, trainers, injectors, ptracers, reports):
+            record = injector.record
+            results.append(ExperimentResult(
+                fault=fault,
+                report=report,
+                num_faulty_elements=record.num_faulty if record else 0,
+                max_abs_faulty=record.max_abs_faulty() if record else 0.0,
+                condition_window=ptracer.condition_magnitude_in_window(
+                    fault.iteration),
+                record=trainer.record if self.keep_records else None,
+            ))
+        return results
+
     # ------------------------------------------------------------------
     # Full campaign (thin front-end over repro.engine)
     # ------------------------------------------------------------------
@@ -316,7 +390,19 @@ class Campaign:
 
         self.prepare()
 
-        def run_unit(payload: dict) -> dict:
+        def run_unit(payload):
+            # A list payload is an E-sized block leased by the engine's
+            # block scheduler: run it through one batched program and
+            # return the per-unit results in order.
+            if isinstance(payload, list):
+                results = self.run_experiment_batch(
+                    [fault_from_dict(p["fault"]) for p in payload])
+                outs = []
+                for p, result in zip(payload, results):
+                    out = experiment_to_dict(result)
+                    out["index"] = p["index"]
+                    outs.append(out)
+                return outs
             result = self.run_experiment(fault_from_dict(payload["fault"]))
             out = experiment_to_dict(result)
             out["index"] = payload["index"]
@@ -354,8 +440,13 @@ class Campaign:
                     "which the engine does not serialize; run with "
                     "parallel=1 and no store")
             result = CampaignResult(workload=self.spec.name)
-            for fault in faults:
-                result.results.append(self.run_experiment(fault))
+            step = self.experiment_batch
+            for start in range(0, len(faults), step):
+                block = faults[start:start + step]
+                if len(block) == 1:
+                    result.results.append(self.run_experiment(block[0]))
+                else:
+                    result.results.extend(self.run_experiment_batch(block))
             return result
 
         if parallel > 1:
@@ -374,9 +465,10 @@ class Campaign:
             self._engine_runner,
             EngineConfig(parallel=int(parallel), timeout=timeout,
                          max_retries=int(max_retries), trace=trace,
+                         block_size=self.experiment_batch,
                          # Multiprocess-backend experiments spawn replica
                          # processes, which daemonic workers may not do.
-                         worker_daemon=(self.backend == "inprocess")),
+                         worker_daemon=(self.backend != "multiprocess")),
             store=store_obj, on_progress=on_progress, tracer=tracer)
         try:
             report = engine.run(self._work_units(faults))

@@ -64,6 +64,14 @@ class EngineConfig:
     poll_interval: float = 0.05
     #: How the result payload maps to an outcome label for telemetry.
     outcome_field: str = "outcome"
+    #: Lease fresh units to runners in blocks of up to this many: the
+    #: runner receives a *list* of payloads and must return an
+    #: equal-length list of results (the batched backend steps the whole
+    #: block through one vectorized program).  Only never-attempted
+    #: units are blocked together — retries always lease solo, so one
+    #: poisoned unit cannot repeatedly sink its block-mates.  A block
+    #: failure/timeout/crash fails every unit in it (each gets a retry).
+    block_size: int = 1
     #: Flight recorder: every worker streams its events into a private
     #: shard file next to the result store (required), merged into one
     #: campaign trace when the run ends.
@@ -113,7 +121,8 @@ class _WorkerHandle:
         self.id = worker_id
         self.queue = ctx.Queue()
         self.ready = False
-        self.task: _Task | None = None
+        #: The in-flight lease: a single-unit list, or an E-sized block.
+        self.block: list[_Task] | None = None
         self.deadline: float | None = None
         self.process = ctx.Process(
             target=worker_main,
@@ -125,7 +134,7 @@ class _WorkerHandle:
 
     @property
     def idle(self) -> bool:
-        return self.ready and self.task is None
+        return self.ready and self.block is None
 
     def kill(self) -> None:
         if self.process.is_alive():
@@ -277,6 +286,12 @@ class CampaignEngine:
                 wait = task.not_before - time.monotonic()
                 if wait > 0:
                     time.sleep(wait)
+                block = [task]
+                self._extend_block(block, pending)
+                if len(block) > 1:
+                    self._run_serial_block(block, runner, pending, report,
+                                           tracker, capture)
+                    continue
                 tracker.task_started(0, task.unit.key)
                 if capture is not None:
                     capture.start(task.unit.key)
@@ -299,6 +314,55 @@ class CampaignEngine:
             if shard_tracer is not None:
                 set_current_tracer(previous_tracer)
                 shard_tracer.close()
+
+    def _extend_block(self, block: list[_Task], pending: deque[_Task],
+                      now: float | None = None) -> None:
+        """Grow a lease up to ``block_size`` with due, never-attempted
+        units.  The lead task decides: retries (attempts > 0) always run
+        solo so a poisoned unit cannot sink fresh block-mates."""
+        if self.config.block_size <= 1 or block[0].attempts != 0:
+            return
+        now = time.monotonic() if now is None else now
+        for _ in range(len(pending)):
+            if len(block) >= self.config.block_size:
+                break
+            candidate = pending.popleft()
+            if candidate.attempts == 0 and candidate.not_before <= now:
+                block.append(candidate)
+            else:
+                pending.append(candidate)
+
+    def _run_serial_block(self, block: list[_Task], runner, pending,
+                          report, tracker, capture) -> None:
+        """Run one leased block through the runner's list protocol in
+        process.  Shard capture brackets each unit after the block runs
+        (events emitted *during* a block are not attributable to a
+        single experiment; the markers still give the merge its per-key
+        dedup anchors)."""
+        for task in block:
+            tracker.task_started(0, task.unit.key)
+        try:
+            with profile_scope("engine.experiment"):
+                payloads = runner([task.unit.payload for task in block])
+            if not isinstance(payloads, list) or len(payloads) != len(block):
+                raise RuntimeError(
+                    f"block runner returned {payloads!r:.80} for "
+                    f"{len(block)} units")
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - retry policy owns this
+            error = f"{type(exc).__name__}: {exc}"
+            for task in block:
+                if capture is not None:
+                    capture.start(task.unit.key)
+                    capture.error(error)
+                self._fail(task, error, pending, report, tracker, worker_id=0)
+            return
+        for task, payload in zip(block, payloads):
+            if capture is not None:
+                capture.start(task.unit.key)
+                capture.done(payload)
+            self._complete(task, payload, report, tracker, worker_id=0)
 
     # ------------------------------------------------------------------
     # Parallel execution
@@ -335,14 +399,14 @@ class CampaignEngine:
             handle.kill()
             del workers[handle.id]
             tracker.worker_restarted(handle.id)
-            if pending or any(w.task is not None for w in workers.values()):
+            if pending or any(w.block is not None for w in workers.values()):
                 spawn()
 
         for _ in range(num_workers):
             spawn()
 
         try:
-            while pending or any(w.task is not None for w in workers.values()):
+            while pending or any(w.block is not None for w in workers.values()):
                 now = time.monotonic()
                 # Dispatch to idle workers (skip tasks still in backoff).
                 for handle in list(workers.values()):
@@ -351,12 +415,22 @@ class CampaignEngine:
                     task = self._next_due(pending, now)
                     if task is None:
                         break
-                    handle.task = task
+                    block = [task]
+                    self._extend_block(block, pending, now)
+                    handle.block = block
+                    # Deadline scales with the lease: a block is
+                    # len(block) experiments of work.
                     handle.deadline = (
-                        now + self.config.timeout
+                        now + self.config.timeout * len(block)
                         if self.config.timeout is not None else None)
-                    tracker.task_started(handle.id, task.unit.key)
-                    handle.queue.put((task.unit.key, task.unit.payload))
+                    for leased in block:
+                        tracker.task_started(handle.id, leased.unit.key)
+                    if len(block) == 1:
+                        handle.queue.put((task.unit.key, task.unit.payload))
+                    else:
+                        handle.queue.put((
+                            [leased.unit.key for leased in block],
+                            [leased.unit.payload for leased in block]))
 
                 self._drain_results(result_queue, workers, pending, report,
                                     tracker)
@@ -416,14 +490,27 @@ class CampaignEngine:
                     raise RuntimeError(
                         f"engine worker failed to initialize: {body}")
             elif tag in (worker_proto.DONE, worker_proto.ERROR):
-                task = handle.task
-                handle.task = None
+                block = handle.block
+                handle.block = None
                 handle.deadline = None
-                if task is None:
-                    continue  # late message for a task already resolved
+                if block is None:
+                    continue  # late message for a lease already resolved
                 key, payload = body
-                if key != task.unit.key:
+                if isinstance(key, list):
+                    if key != [task.unit.key for task in block]:
+                        continue
+                    if tag == worker_proto.DONE:
+                        for task, result in zip(block, payload):
+                            self._complete(task, result, report, tracker,
+                                           worker_id)
+                    else:
+                        for task in block:
+                            self._fail(task, payload, pending, report,
+                                       tracker, worker_id)
                     continue
+                if len(block) != 1 or key != block[0].unit.key:
+                    continue
+                task = block[0]
                 if tag == worker_proto.DONE:
                     self._complete(task, payload, report, tracker, worker_id)
                 else:
@@ -434,19 +521,24 @@ class CampaignEngine:
                                       tracker, respawn) -> None:
         now = time.monotonic()
         for handle in list(workers.values()):
-            task = handle.task
-            if task is not None and handle.deadline is not None \
+            block = handle.block
+            if block is not None and handle.deadline is not None \
                     and now > handle.deadline:
-                handle.task = None
-                self._fail(task, f"timeout after {self.config.timeout:.1f}s",
-                           pending, report, tracker, handle.id)
+                handle.block = None
+                error = f"timeout after {self.config.timeout:.1f}s"
+                if len(block) > 1:
+                    error += f" (block of {len(block)})"
+                for task in block:
+                    self._fail(task, error, pending, report, tracker,
+                               handle.id)
                 respawn(handle)
             elif not handle.process.is_alive():
-                handle.task = None
-                if task is not None:
-                    self._fail(
-                        task,
-                        f"worker crashed (exit code "
-                        f"{handle.process.exitcode})",
-                        pending, report, tracker, handle.id)
+                handle.block = None
+                if block is not None:
+                    for task in block:
+                        self._fail(
+                            task,
+                            f"worker crashed (exit code "
+                            f"{handle.process.exitcode})",
+                            pending, report, tracker, handle.id)
                 respawn(handle)

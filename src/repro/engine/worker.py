@@ -84,6 +84,36 @@ class UnitCapture:
         self.tracer.clear_context()
 
 
+def _run_block(runner, keys: list, payloads: list, worker_id: int,
+               result_queue, capture: UnitCapture | None) -> None:
+    """Execute one E-sized block lease (``keys`` is a list, the block
+    protocol marker).  The runner gets every payload at once and must
+    return an equal-length result list; success reports ``DONE`` with
+    ``(keys, results)``, any failure fails the whole block (the parent
+    retries each unit solo).  Shard capture brackets each unit after the
+    block: events emitted while the block runs are interleaved across
+    its experiments and are not attributed to a single one."""
+    try:
+        with profile_scope("engine.experiment"):
+            results = runner(payloads)
+        if not isinstance(results, list) or len(results) != len(keys):
+            raise RuntimeError(
+                f"block runner returned {results!r:.80} for "
+                f"{len(keys)} units")
+        if capture is not None:
+            for key, result in zip(keys, results):
+                capture.start(key)
+                capture.done(result)
+        result_queue.put((DONE, worker_id, (keys, results)))
+    except BaseException as exc:  # noqa: BLE001 - one bad block must not kill the pool
+        error = f"{type(exc).__name__}: {exc}"
+        if capture is not None:
+            for key in keys:
+                capture.start(key)
+                capture.error(error)
+        result_queue.put((ERROR, worker_id, (keys, error)))
+
+
 def worker_main(worker_id: int, runner_factory, task_queue, result_queue,
                 trace_path=None, outcome_field: str = "outcome") -> None:
     """Worker process entry point (see module docstring).
@@ -112,6 +142,10 @@ def worker_main(worker_id: int, runner_factory, task_queue, result_queue,
             if task is None:
                 break
             key, payload = task
+            if isinstance(key, list):
+                _run_block(runner, key, payload, worker_id, result_queue,
+                           capture)
+                continue
             if capture is not None:
                 capture.start(key)
             try:

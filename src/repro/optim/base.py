@@ -120,6 +120,22 @@ class Optimizer:
             slots[:] = views
             self._fused_slots[name] = segment
 
+    def refresh_arena_views(self) -> None:
+        """Re-derive slot views after the bound arena's segments moved.
+
+        :meth:`repro.state.StateArena.rebind_segment` repoints a segment
+        at caller-provided storage (the batched backend adopts arenas
+        into ``(E, ...)`` row stacks this way), which orphans the views
+        and fused-segment references captured by :meth:`bind_arena`.
+        Calling this re-reads the arena's current segments so the
+        optimizer keeps updating the live storage.
+        """
+        if self._arena is None:
+            return
+        for name, slots in self._slot_arrays().items():
+            slots[:] = self._arena.views(f"opt.{name}")
+            self._fused_slots[name] = self._arena.segments[f"opt.{name}"]
+
     @property
     def arena(self):
         """The bound :class:`~repro.state.StateArena`, or ``None``."""

@@ -9,10 +9,12 @@ from repro.state.arena import (
     StateArena,
     build_arenas,
 )
+from repro.state.batched import ExperimentStacks
 
 __all__ = [
     "ArenaEntry",
     "ArenaLayoutError",
+    "ExperimentStacks",
     "StateArena",
     "build_arenas",
     "GRAD_SEGMENT",

@@ -54,7 +54,7 @@ def state_digest(trainer) -> str:
     return h.hexdigest()
 
 
-@pytest.mark.parametrize("backend", ["inprocess", "multiprocess"])
+@pytest.mark.parametrize("backend", ["inprocess", "multiprocess", "batched"])
 @pytest.mark.parametrize("case", load_cases(), ids=lambda c: c["workload"])
 def test_training_is_bit_identical_to_golden_trace(case, backend):
     """Both execution backends must reproduce the pre-refactor traces:
