@@ -19,6 +19,9 @@ injection, evaluate the technique) as subcommands::
     python -m repro mitigate resnet --iteration 20 --trace run.trace.jsonl
     python -m repro trace run.trace.jsonl --type fault_injected
     python -m repro trace results.trace.jsonl --analyze
+    python -m repro replay results.trace.jsonl <experiment-key> --verify-trace
+    python -m repro replay --corpus tests/data/replay_corpus.json
+    python -m repro diff-campaign results_a.jsonl results_b.jsonl [--json]
     python -m repro profile resnet --iterations 20
 
 Every command prints an artifact-style text report (see
@@ -38,6 +41,7 @@ from repro.core.analysis.report import (
     render_campaign,
     render_convergence,
     render_trace_analysis,
+    stable_floats,
 )
 from repro.core.faults import (
     COMM,
@@ -290,7 +294,7 @@ def cmd_report(args) -> int:
                 "nonfinite_rate": sum(bool(r["payload"].get("nonfinite"))
                                       for r in experiments) / n,
             }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(stable_floats(payload), indent=2, sort_keys=True))
         return 0
     print(f"# store: {args.store}")
     print(f"kind {kind}, schema {header.get('schema')}, "
@@ -403,6 +407,7 @@ def cmd_trace(args) -> int:
 
 def cmd_monitor(args) -> int:
     """``repro monitor``: live dashboard over a store + worker shards."""
+    import json
     import time
     from pathlib import Path
 
@@ -412,6 +417,7 @@ def cmd_monitor(args) -> int:
         render_html,
         render_markdown,
         render_text,
+        snapshot_dict,
     )
 
     def observe():
@@ -422,6 +428,9 @@ def cmd_monitor(args) -> int:
         return state
 
     state = observe()
+    if args.json:
+        print(json.dumps(snapshot_dict(state), indent=2, sort_keys=True))
+        return 1 if state.alerts else 0
     if args.follow:
         try:
             while True:
@@ -447,6 +456,75 @@ def cmd_monitor(args) -> int:
         print("monitor: " + "; ".join(state.alerts), file=sys.stderr)
         return 1
     return 0
+
+
+def _print_replay_report(report) -> None:
+    events = {True: "match", False: "DIVERGED", None: "n/a"}[report.events_match]
+    arena = {True: "match", False: "DIVERGED", None: "n/a"}[report.arena_match]
+    status = "ok" if report.ok else "FAIL"
+    print(f"{status:<5} {report.key}  backend={report.backend}  "
+          f"outcome={report.outcome_replayed}"
+          f"{'' if report.outcome_match else ' (recorded ' + str(report.outcome_recorded) + ')'}"
+          f"  arena={arena}  events={events}")
+    for mismatch in report.mismatches:
+        print(f"      {mismatch}")
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: re-run recorded experiments bit-for-bit."""
+    from repro import replay as rp
+
+    if args.bless and not args.corpus:
+        print("--bless only applies to --corpus replays", file=sys.stderr)
+        return 2
+    if args.corpus:
+        corpus = rp.load_corpus(args.corpus)
+        reports = rp.run_corpus(corpus, backend=args.backend,
+                                verify_trace=args.verify_trace,
+                                bless=args.bless)
+        for report in reports:
+            _print_replay_report(report)
+        failed = [r for r in reports if not r.ok]
+        if args.bless:
+            rp.save_corpus(corpus, args.corpus)
+            print(f"blessed {len(reports)} entries -> {args.corpus}"
+                  + (f" ({len(failed)} pins changed)" if failed else
+                     " (no pins changed)"))
+            return 0
+        print(f"replayed {len(reports)} corpus entries: "
+              f"{len(reports) - len(failed)} ok, {len(failed)} failed")
+        return 1 if failed else 0
+
+    if not args.trace:
+        print("error: a trace file (with an experiment key) or --corpus "
+              "is required", file=sys.stderr)
+        return 2
+    if not args.key:
+        keys = rp.replay_keys(args.trace)
+        print(f"# {args.trace}: {len(keys)} replayable experiments")
+        for key in keys:
+            print(f"  {key}")
+        print("re-run with one of these keys to replay it")
+        return 0
+    record = rp.replay_record(args.trace, args.key)
+    report = rp.replay(record, backend=args.backend,
+                       verify_trace=args.verify_trace)
+    _print_replay_report(report)
+    return 0 if report.ok else 1
+
+
+def cmd_diff_campaign(args) -> int:
+    """``repro diff-campaign``: outcome-taxonomy drift between stores."""
+    import json
+
+    from repro.replay import diff_campaigns, render_diff
+
+    diff = diff_campaigns(args.store_a, args.store_b)
+    if args.json:
+        print(json.dumps(stable_floats(diff), indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    return 1 if diff["flip_count"] else 0
 
 
 def cmd_profile(args) -> int:
@@ -576,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="render one observation and exit (default)")
     mode.add_argument("--follow", action="store_true",
                       help="keep rendering until the campaign completes")
+    mode.add_argument("--json", action="store_true",
+                      help="print one deterministic JSON snapshot "
+                           "(wall-clock fields excluded) and exit")
     monitor.add_argument("--interval", type=float, default=2.0,
                          help="--follow refresh interval in seconds "
                               "(default: 2)")
@@ -633,6 +714,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="campaign-level analytics (detection latencies, "
                             "Table 4 tallies, phase vulnerability)")
     trace.set_defaults(func=cmd_trace)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a recorded experiment bit-for-bit and verify it")
+    replay.add_argument("trace", nargs="?",
+                        help="merged campaign trace file (omit the key to "
+                             "list its replayable experiments)")
+    replay.add_argument("key", nargs="?",
+                        help="experiment key to replay")
+    replay.add_argument("--corpus", metavar="PATH",
+                        help="replay every entry of a pinned replay-corpus "
+                             "document instead of a trace record")
+    replay.add_argument("--backend", choices=list(BACKEND_NAMES),
+                        help="override the recorded execution backend "
+                             "(outcomes are backend-invariant)")
+    replay.add_argument("--verify-trace", action="store_true",
+                        help="also verify the replayed event stream "
+                             "against the recorded one")
+    replay.add_argument("--bless", action="store_true",
+                        help="with --corpus: re-pin the corpus to the "
+                             "replayed outcomes/digests (golden refresh)")
+    replay.set_defaults(func=cmd_replay)
+
+    diff = sub.add_parser(
+        "diff-campaign",
+        help="report outcome-taxonomy drift between two result stores")
+    diff.add_argument("store_a", help="baseline result store")
+    diff.add_argument("store_b", help="comparison result store")
+    diff.add_argument("--json", action="store_true",
+                      help="machine-readable JSON (deterministic)")
+    diff.set_defaults(func=cmd_diff_campaign)
 
     profile = sub.add_parser("profile",
                              help="profile hot-path timings over a short run")

@@ -27,6 +27,7 @@ from repro.core.analysis.report import (
     render_convergence,
     render_propagation_report,
     render_trace_analysis,
+    stable_floats,
 )
 from repro.core.analysis.stats import (
     ProportionEstimate,
@@ -58,6 +59,7 @@ __all__ = [
     "render_convergence",
     "render_propagation_report",
     "render_trace_analysis",
+    "stable_floats",
     "unobserved_outcome_bound",
     "wilson_interval",
 ]

@@ -16,6 +16,7 @@ without re-running anything.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 from repro.training.metrics import ConvergenceRecord
@@ -43,6 +44,26 @@ def render_convergence(record: ConvergenceRecord, every: int = 1,
     for iteration in record.recoveries:
         lines.append(f">> recovery: re-executed from iteration {iteration}")
     return "\n".join(lines)
+
+
+def stable_floats(value, digits: int = 12):
+    """Normalize floats to ``digits`` significant digits, recursively.
+
+    JSON reports that feed diffs (``repro report --json``, ``repro
+    monitor --json``, ``diff-campaign``) must not churn on sub-ULP repr
+    noise between platforms or numpy builds; 12 significant digits keep
+    every meaningful delta while washing that noise out.  Non-finite
+    floats and non-float leaves pass through unchanged.
+    """
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return value
+        return float(f"{value:.{digits}g}")
+    if isinstance(value, dict):
+        return {k: stable_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [stable_floats(v, digits) for v in value]
+    return value
 
 
 def render_campaign(result: CampaignResult) -> str:

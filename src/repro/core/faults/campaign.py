@@ -18,7 +18,7 @@ for the training-vs-inference comparison of Table 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -33,9 +33,11 @@ from repro.core.analysis.classify import (
 )
 from repro.core.analysis.propagation import PropagationTracer
 from repro.core.analysis.stats import ProportionEstimate, wilson_interval
+from repro.core.faults.comm import COMM, CommFaultInjector
 from repro.core.faults.hardware import SITE_KINDS, HardwareFault, sample_fault
 from repro.core.faults.injector import FaultInjector
 from repro.distributed.sync import SyncDataParallelTrainer
+from repro.state import training_state_digest
 from repro.training.checkpoints import Checkpoint
 from repro.training.metrics import ConvergenceRecord
 from repro.workloads.base import WorkloadSpec
@@ -54,6 +56,9 @@ class ExperimentResult:
     #: Necessary-condition magnitudes within 2 iterations of the fault.
     condition_window: dict[str, float]
     record: ConvergenceRecord | None = None
+    #: Digest of the final training state (params + optimizer slots +
+    #: per-replica extra state), the replay gate's byte-identity anchor.
+    arena_sha256: str | None = None
 
     @property
     def outcome(self) -> Outcome:
@@ -198,6 +203,75 @@ class Campaign:
         self.reference: ConvergenceRecord | None = None
 
     # ------------------------------------------------------------------
+    # Config round-trip (replay)
+    # ------------------------------------------------------------------
+    def config_dict(self) -> dict:
+        """Everything needed to rebuild this campaign bit-for-bit.
+
+        Stored in the :class:`~repro.engine.store.ResultStore` header
+        (and hence in the merged campaign trace), so ``repro replay`` can
+        reconstruct the identical warm-up snapshot, reference run, and
+        classifier from the trace alone.
+        """
+        return {
+            "workload": self.spec.name,
+            "size": self.spec.extra.get("size", "small"),
+            "workload_seed": int(self.spec.extra.get("seed", 0)),
+            "num_devices": self.num_devices,
+            "seed": self.seed,
+            "warmup_iterations": self.warmup_iterations,
+            "horizon": self.horizon,
+            "inject_window": self.inject_window,
+            "test_every": self.test_every,
+            "thresholds": asdict(self.thresholds),
+            "site_kinds": list(self.site_kinds),
+            "detect": self.detect,
+            "backend": self.backend,
+            "experiment_batch": self.experiment_batch,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict, *, backend: str | None = None,
+                    experiment_batch: int | None = None) -> "Campaign":
+        """Rebuild a campaign from a :meth:`config_dict` record.
+
+        ``backend`` overrides the recorded execution backend (outcomes
+        are bit-identical across backends, so replays stay valid); the
+        batch size is clamped to 1 unless the resolved backend is
+        ``"batched"``.
+        """
+        from repro.workloads import build_workload
+
+        spec = build_workload(
+            config["workload"],
+            size=config.get("size", "small"),
+            seed=int(config.get("workload_seed", 0)),
+        )
+        resolved_backend = config.get("backend", "inprocess") if backend is None \
+            else backend
+        batch = int(config.get("experiment_batch", 1)) \
+            if experiment_batch is None else int(experiment_batch)
+        if resolved_backend != "batched":
+            batch = 1
+        thresholds = None
+        if config.get("thresholds"):
+            thresholds = ClassifierThresholds(**config["thresholds"])
+        return cls(
+            spec,
+            num_devices=int(config.get("num_devices", 8)),
+            seed=int(config.get("seed", 0)),
+            warmup_iterations=int(config["warmup_iterations"]),
+            horizon=int(config["horizon"]),
+            inject_window=int(config["inject_window"]),
+            test_every=int(config.get("test_every", 10)),
+            thresholds=thresholds,
+            site_kinds=tuple(config.get("site_kinds", SITE_KINDS)),
+            detect=bool(config.get("detect", False)),
+            backend=resolved_backend,
+            experiment_batch=batch,
+        )
+
+    # ------------------------------------------------------------------
     # Baseline preparation
     # ------------------------------------------------------------------
     def _new_trainer(self, eval_device: int = 0, tracer=None,
@@ -254,6 +328,14 @@ class Campaign:
         fault.iteration += self.warmup_iterations
         return fault
 
+    @staticmethod
+    def _injector_for(fault: HardwareFault):
+        """The injector hook matching a fault's site kind: link faults
+        corrupt the reduced gradient, everything else a device tensor."""
+        if fault.site.kind == COMM:
+            return CommFaultInjector(fault)
+        return FaultInjector(fault)
+
     def run_experiment(self, fault: HardwareFault,
                        tracer=None) -> ExperimentResult:
         """Restore the baseline, inject, train to the horizon, classify.
@@ -271,15 +353,19 @@ class Campaign:
             tracer = current_tracer()
         trainer = self._new_trainer(eval_device=fault.device, tracer=tracer)
         self._snapshot.restore(trainer)
-        injector = FaultInjector(fault)
+        injector = self._injector_for(fault)
         ptracer = PropagationTracer()
         trainer.add_hook(injector)
         trainer.add_hook(ptracer)
         if self.detect:
             trainer.add_hook(HardwareFailureDetector())
         remaining = self.warmup_iterations + self.horizon - trainer.iteration
+        arena_sha256 = None
         try:
             trainer.train(remaining)
+            # Digest before close(): the multiprocess backend unlinks its
+            # shared-memory segments when the trainer is released.
+            arena_sha256 = training_state_digest(trainer)
         finally:
             trainer.close()
         report = classify_outcome(
@@ -293,6 +379,7 @@ class Campaign:
             max_abs_faulty=record.max_abs_faulty() if record else 0.0,
             condition_window=ptracer.condition_magnitude_in_window(fault.iteration),
             record=trainer.record if self.keep_records else None,
+            arena_sha256=arena_sha256,
         )
 
     def run_experiment_batch(self, faults: list[HardwareFault],
@@ -324,7 +411,7 @@ class Campaign:
                 eval_device=fault.device, tracer=tracer,
                 backend=BatchedBackend(group=group))
             self._snapshot.restore(trainer)
-            injector = FaultInjector(fault)
+            injector = self._injector_for(fault)
             ptracer = PropagationTracer()
             trainer.add_hook(injector)
             trainer.add_hook(ptracer)
@@ -337,6 +424,7 @@ class Campaign:
                    for t in trainers]
         try:
             run_lockstep(group, trainers, budgets)
+            digests = [training_state_digest(t) for t in trainers]
         finally:
             for trainer in trainers:
                 trainer.close()
@@ -344,8 +432,8 @@ class Campaign:
             [t.record for t in trainers], self.reference,
             [f.iteration for f in faults], self.thresholds)
         results = []
-        for fault, trainer, injector, ptracer, report in zip(
-                faults, trainers, injectors, ptracers, reports):
+        for fault, trainer, injector, ptracer, report, digest in zip(
+                faults, trainers, injectors, ptracers, reports, digests):
             record = injector.record
             results.append(ExperimentResult(
                 fault=fault,
@@ -355,6 +443,7 @@ class Campaign:
                 condition_window=ptracer.condition_magnitude_in_window(
                     fault.iteration),
                 record=trainer.record if self.keep_records else None,
+                arena_sha256=digest,
             ))
         return results
 
@@ -459,7 +548,10 @@ class Campaign:
             store_obj = ResultStore(
                 store, kind="campaign",
                 meta={"workload": self.spec.name, "seed": int(seed),
-                      "num_experiments": int(num_experiments)},
+                      "num_experiments": int(num_experiments),
+                      # Full reconstruction record: repro replay rebuilds
+                      # the campaign from this (via the merged trace).
+                      "config": self.config_dict()},
                 resume=resume)
         engine = CampaignEngine(
             self._engine_runner,

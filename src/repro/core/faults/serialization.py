@@ -91,7 +91,7 @@ def fault_from_dict(data: dict) -> HardwareFault:
 # Experiment and campaign results
 # ----------------------------------------------------------------------
 def experiment_to_dict(result: ExperimentResult) -> dict:
-    return {
+    out = {
         "fault": fault_to_dict(result.fault),
         "outcome": result.outcome.value,
         "final_train_delta": _json_safe(result.report.final_train_delta),
@@ -102,6 +102,10 @@ def experiment_to_dict(result: ExperimentResult) -> dict:
         "condition_window": {k: _json_safe(v)
                              for k, v in result.condition_window.items()},
     }
+    # Additive (schema stays v1): pre-replay records simply lack it.
+    if result.arena_sha256 is not None:
+        out["arena_sha256"] = result.arena_sha256
+    return out
 
 
 def experiment_from_dict(data: dict) -> ExperimentResult:
@@ -120,6 +124,7 @@ def experiment_from_dict(data: dict) -> ExperimentResult:
         max_abs_faulty=_from_json_number(data["max_abs_faulty"]),
         condition_window={k: _from_json_number(v)
                           for k, v in data["condition_window"].items()},
+        arena_sha256=data.get("arena_sha256"),
     )
 
 

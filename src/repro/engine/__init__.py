@@ -21,6 +21,7 @@ from repro.engine.monitor import (
     render_html,
     render_markdown,
     render_text,
+    snapshot_dict,
 )
 from repro.engine.scheduler import CampaignEngine, EngineConfig, EngineReport
 from repro.engine.store import (
@@ -66,5 +67,6 @@ __all__ = [
     "render_html",
     "render_markdown",
     "render_text",
+    "snapshot_dict",
     "store_to_campaign",
 ]

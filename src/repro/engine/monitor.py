@@ -249,6 +249,46 @@ def evaluate_alerts(state: MonitorState,
     return alerts
 
 
+def snapshot_dict(state: MonitorState) -> dict:
+    """A deterministic machine-readable snapshot of one observation.
+
+    Everything wall-clock-dependent (throughput, ETA, write ages, ``ts``
+    stamps) is excluded so two snapshots of the same on-disk state are
+    byte-identical — the property ``repro monitor --json`` needs to be
+    diffable in CI alongside ``diff-campaign``.  Floats are normalized
+    by :func:`repro.core.analysis.report.stable_floats`.
+    """
+    from repro.core.analysis.report import stable_floats
+
+    def recent_row(row: dict) -> dict:
+        return {k: v for k, v in sorted(row.items()) if k != "ts"}
+
+    return stable_floats({
+        "store": state.store_path.name,
+        "kind": state.kind,
+        "meta": state.meta,
+        "total": state.total,
+        "completed": state.completed,
+        "quarantined": state.quarantined,
+        "quarantine_rate": state.quarantine_rate,
+        "divergence_rate": state.divergence_rate,
+        "breakdown": dict(sorted(state.breakdown.items())),
+        "recent": [recent_row(r) for r in state.recent],
+        "workers": [{
+            "worker": w.worker,
+            "events": w.events,
+            "finished": w.finished,
+            "busy_key": w.busy_key,
+            "unreadable": w.unreadable,
+            "truncated": w.truncated,
+            "stalled": w.stalled,
+        } for w in state.workers],
+        "detections": state.detections,
+        "trace": None if state.trace_path is None else state.trace_path.name,
+        "alerts": state.alerts,
+    })
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------

@@ -294,7 +294,7 @@ class CampaignEngine:
                     continue
                 tracker.task_started(0, task.unit.key)
                 if capture is not None:
-                    capture.start(task.unit.key)
+                    capture.start(task.unit.key, task.unit.payload)
                 try:
                     with profile_scope("engine.experiment"):
                         payload = runner(task.unit.payload)
@@ -354,13 +354,13 @@ class CampaignEngine:
             error = f"{type(exc).__name__}: {exc}"
             for task in block:
                 if capture is not None:
-                    capture.start(task.unit.key)
+                    capture.start(task.unit.key, task.unit.payload)
                     capture.error(error)
                 self._fail(task, error, pending, report, tracker, worker_id=0)
             return
         for task, payload in zip(block, payloads):
             if capture is not None:
-                capture.start(task.unit.key)
+                capture.start(task.unit.key, task.unit.payload)
                 capture.done(payload)
             self._complete(task, payload, report, tracker, worker_id=0)
 

@@ -66,17 +66,29 @@ class UnitCapture:
         self.outcome_field = outcome_field
         self._attempts: dict[str, int] = {}
 
-    def start(self, key: str) -> None:
+    def start(self, key: str, payload=None) -> None:
         attempt = self._attempts.get(key, 0)
         self._attempts[key] = attempt + 1
         self.tracer.set_context(key=key, worker=self.worker_id,
                                 attempt=attempt)
-        self.tracer.emit(EXPERIMENT_STARTED)
+        # The unit payload makes the trace self-contained: replay can
+        # reconstruct the exact fault descriptor from this event alone.
+        if payload is not None:
+            self.tracer.emit(EXPERIMENT_STARTED, unit=payload)
+        else:
+            self.tracer.emit(EXPERIMENT_STARTED)
 
     def done(self, result) -> None:
         outcome = (result.get(self.outcome_field)
                    if isinstance(result, dict) else None)
-        self.tracer.emit(EXPERIMENT_FINISHED, status="done", outcome=outcome)
+        arena = (result.get("arena_sha256")
+                 if isinstance(result, dict) else None)
+        if arena is not None:
+            self.tracer.emit(EXPERIMENT_FINISHED, status="done",
+                             outcome=outcome, arena_sha256=arena)
+        else:
+            self.tracer.emit(EXPERIMENT_FINISHED, status="done",
+                             outcome=outcome)
         self.tracer.clear_context()
 
     def error(self, error: str) -> None:
@@ -101,15 +113,15 @@ def _run_block(runner, keys: list, payloads: list, worker_id: int,
                 f"block runner returned {results!r:.80} for "
                 f"{len(keys)} units")
         if capture is not None:
-            for key, result in zip(keys, results):
-                capture.start(key)
+            for key, payload, result in zip(keys, payloads, results):
+                capture.start(key, payload)
                 capture.done(result)
         result_queue.put((DONE, worker_id, (keys, results)))
     except BaseException as exc:  # noqa: BLE001 - one bad block must not kill the pool
         error = f"{type(exc).__name__}: {exc}"
         if capture is not None:
-            for key in keys:
-                capture.start(key)
+            for key, payload in zip(keys, payloads):
+                capture.start(key, payload)
                 capture.error(error)
         result_queue.put((ERROR, worker_id, (keys, error)))
 
@@ -147,7 +159,7 @@ def worker_main(worker_id: int, runner_factory, task_queue, result_queue,
                            capture)
                 continue
             if capture is not None:
-                capture.start(key)
+                capture.start(key, payload)
             try:
                 with profile_scope("engine.experiment"):
                     result = runner(payload)

@@ -179,6 +179,20 @@ def merge_traces(sources: list[str | Path], dest: str | Path,
     return result
 
 
+def _store_header_meta(store_path: Path) -> dict | None:
+    """The result store's header ``meta``, read without importing the
+    engine (observe must stay importable below it).  ``None`` when the
+    store is missing or its header is unreadable."""
+    try:
+        with open(store_path, encoding="utf-8") as fh:
+            first = fh.readline()
+        header = json.loads(first)
+    except (OSError, ValueError):
+        return None
+    meta = header.get("meta") if isinstance(header, dict) else None
+    return meta if isinstance(meta, dict) else None
+
+
 def merge_campaign_shards(store_path: str | Path,
                           remove_shards: bool = True) -> TraceMergeResult | None:
     """Fold worker shards next to ``store_path`` into the campaign trace.
@@ -187,7 +201,9 @@ def merge_campaign_shards(store_path: str | Path,
     ``trace-worker*.jsonl`` shard in the store's directory; consumed
     shards are deleted afterwards unless ``remove_shards`` is False.
     Returns ``None`` when there is nothing to merge (no shards and no
-    existing trace).
+    existing trace).  The store's header meta (workload, seed, campaign
+    config) is embedded as ``store_meta`` so the merged trace is a
+    self-contained replay record.
     """
     store_path = Path(store_path)
     dest = campaign_trace_path(store_path)
@@ -196,8 +212,11 @@ def merge_campaign_shards(store_path: str | Path,
     sources.extend(shards)
     if not sources:
         return None
-    result = merge_traces(sources, dest,
-                          meta={"store": store_path.name})
+    meta: dict = {"store": store_path.name}
+    store_meta = _store_header_meta(store_path)
+    if store_meta is not None:
+        meta["store_meta"] = store_meta
+    result = merge_traces(sources, dest, meta=meta)
     if remove_shards:
         for shard in shards:
             try:

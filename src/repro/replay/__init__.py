@@ -1,0 +1,49 @@
+"""Deterministic replay and campaign diffing (see ROADMAP).
+
+Reconstruct any experiment bit-for-bit from its campaign-trace record
+(:mod:`repro.replay.record` / :mod:`repro.replay.runner`), pin a
+site-kind x outcome x backend corpus as a CI regression gate
+(:mod:`repro.replay.corpus`), and report outcome-taxonomy drift between
+two campaigns (:mod:`repro.replay.diff`).
+"""
+
+from repro.replay.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    entry_to_record,
+    load_corpus,
+    run_corpus,
+    save_corpus,
+)
+from repro.replay.diff import QUARANTINED, diff_campaigns, render_diff
+from repro.replay.record import (
+    ReplayError,
+    ReplayRecord,
+    canonical_event,
+    events_digest,
+    normalize_events,
+    replay_keys,
+    replay_record,
+)
+from repro.replay.runner import CampaignCache, ReplayReport, replay, verify_key
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CampaignCache",
+    "QUARANTINED",
+    "ReplayError",
+    "ReplayRecord",
+    "ReplayReport",
+    "canonical_event",
+    "diff_campaigns",
+    "entry_to_record",
+    "events_digest",
+    "load_corpus",
+    "normalize_events",
+    "replay",
+    "replay_keys",
+    "replay_record",
+    "render_diff",
+    "run_corpus",
+    "save_corpus",
+    "verify_key",
+]

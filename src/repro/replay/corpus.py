@@ -1,0 +1,109 @@
+"""The pinned replay corpus: the repo's standing regression gate.
+
+A corpus is a JSON document of replay entries — each one a fully
+specified experiment (fault descriptor + campaign config + backend)
+pinned to its blessed outcome, final-state digest, and event-stream
+digest.  CI replays every entry and fails on any drift, which is what
+makes refactors of the execution path (backends, kernels, state layout)
+safe to land: an outcome flip anywhere in the covered
+site-kind x outcome x backend matrix is caught before merge.
+
+Pinned values change only through an explicit bless
+(``repro replay --corpus PATH --bless``): the corpus is re-run, the
+replayed values become the new pins, and the diff shows up in review
+like any other golden-file change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.replay.record import ReplayError, ReplayRecord
+from repro.replay.runner import CampaignCache, ReplayReport, replay
+
+#: Corpus document schema version; readers reject unknown versions.
+CORPUS_SCHEMA_VERSION = 1
+
+_REQUIRED_ENTRY_FIELDS = ("key", "index", "backend", "fault", "config")
+
+
+def load_corpus(path: str | Path) -> dict:
+    """Read and validate a corpus document."""
+    path = Path(path)
+    try:
+        corpus = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReplayError(f"cannot read corpus: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReplayError(f"{path}: corrupt corpus document: {exc}") from exc
+    if not isinstance(corpus, dict) or \
+            corpus.get("kind") != "replay_corpus":
+        raise ReplayError(f"{path}: not a replay corpus document")
+    schema = corpus.get("schema")
+    if schema != CORPUS_SCHEMA_VERSION:
+        raise ReplayError(
+            f"{path}: corpus schema version {schema!r} is not supported "
+            f"(this build reads version {CORPUS_SCHEMA_VERSION})")
+    entries = corpus.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ReplayError(f"{path}: corpus has no entries")
+    for i, entry in enumerate(entries):
+        missing = [f for f in _REQUIRED_ENTRY_FIELDS if f not in entry]
+        if missing:
+            raise ReplayError(
+                f"{path}: entry {i} is missing fields {missing}")
+    return corpus
+
+
+def save_corpus(corpus: dict, path: str | Path) -> None:
+    """Write a corpus deterministically (sorted keys, stable layout)."""
+    Path(path).write_text(
+        json.dumps(corpus, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def entry_to_record(entry: dict) -> ReplayRecord:
+    """One corpus entry as a runnable :class:`ReplayRecord`.
+
+    Corpus entries pin digests rather than full event streams, so
+    ``events`` is empty and event verification compares digests.
+    """
+    return ReplayRecord(
+        key=entry["key"],
+        index=int(entry["index"]),
+        fault=entry["fault"],
+        config=entry["config"],
+        backend=entry["backend"],
+        outcome=entry.get("outcome"),
+        arena_sha256=entry.get("arena_sha256"),
+        events=[],
+        events_sha256=entry.get("events_sha256"),
+    )
+
+
+def run_corpus(corpus: dict, *, backend: str | None = None,
+               verify_trace: bool = False, bless: bool = False,
+               on_progress=None) -> list[ReplayReport]:
+    """Replay every corpus entry; with ``bless``, re-pin the entries.
+
+    ``backend`` overrides every entry's recorded backend (for targeted
+    cross-backend sweeps).  Blessing replaces each entry's pinned
+    outcome / arena / events digests with the replayed values in place —
+    the caller persists the updated corpus with :func:`save_corpus`.
+    """
+    cache = CampaignCache()
+    reports: list[ReplayReport] = []
+    entries = corpus["entries"]
+    for i, entry in enumerate(entries):
+        record = entry_to_record(entry)
+        report = replay(record, backend=backend,
+                        verify_trace=verify_trace or bless, cache=cache)
+        if bless:
+            entry["outcome"] = report.outcome_replayed
+            entry["arena_sha256"] = report.arena_replayed
+            entry["events_sha256"] = report.events_replayed_sha256
+        reports.append(report)
+        if on_progress is not None:
+            on_progress(i + 1, len(entries), report)
+    return reports

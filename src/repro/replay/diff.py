@@ -1,0 +1,154 @@
+"""Campaign diffing: outcome-taxonomy drift between two result stores.
+
+``repro diff-campaign A B`` compares two campaigns run with the same
+seeds (same experiment keys) under different code / backends / configs:
+
+* per-Outcome **transition matrix** over the common keys — how many
+  experiments moved from each Table 3 class to each other class;
+* the **flipped keys** themselves, so any drift is replayable
+  one-by-one (``repro replay <trace> <key>``);
+* **new/missing keys** (sampling or resume drift);
+* **detection-latency deltas** from the campaign traces next to the
+  stores, when both exist (Sec. 5.1 drift).
+
+Everything is computed from the stores/traces alone and rendered
+deterministically (sorted keys, stable ordering), so two runs of the
+diff — or a diff in CI — are byte-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.store import read_records
+from repro.observe.analysis import detection_latencies
+from repro.observe.merge import campaign_trace_path
+from repro.observe.tracer import read_trace
+
+#: Pseudo-outcome label for quarantined experiments in the transition
+#: matrix (a unit that completes in A but is quarantined in B is drift
+#: worth seeing, not a hole in the matrix).
+QUARANTINED = "quarantined"
+
+
+def _store_outcomes(path: Path) -> dict[str, str]:
+    """key -> outcome label (completed) or the quarantined pseudo-label."""
+    outcomes: dict[str, str] = {}
+    for record in read_records(path)[1:]:
+        if record.get("record") == "experiment":
+            payload = record.get("payload") or {}
+            outcomes[record["key"]] = str(payload.get("outcome"))
+        elif record.get("record") == "quarantine":
+            outcomes.setdefault(record["key"], QUARANTINED)
+    return outcomes
+
+
+def _store_latencies(store_path: Path) -> dict[str, int | None] | None:
+    """key -> detection latency from the campaign trace, if one exists."""
+    trace_path = campaign_trace_path(store_path)
+    if not trace_path.exists():
+        return None
+    rows = detection_latencies(read_trace(trace_path))
+    return {row["key"]: row["latency"] for row in rows
+            if isinstance(row["key"], str)}
+
+
+def _counts(outcomes: dict[str, str]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for outcome in outcomes.values():
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def diff_campaigns(store_a: str | Path, store_b: str | Path) -> dict:
+    """Drift report between two result stores (see module docstring)."""
+    store_a, store_b = Path(store_a), Path(store_b)
+    outcomes_a = _store_outcomes(store_a)
+    outcomes_b = _store_outcomes(store_b)
+    common = sorted(set(outcomes_a) & set(outcomes_b))
+
+    transitions: dict[str, int] = {}
+    flips: list[dict] = []
+    for key in common:
+        a, b = outcomes_a[key], outcomes_b[key]
+        label = f"{a} -> {b}"
+        transitions[label] = transitions.get(label, 0) + 1
+        if a != b:
+            flips.append({"key": key, "a": a, "b": b})
+
+    diff = {
+        "a": str(store_a),
+        "b": str(store_b),
+        "experiments": {"a": len(outcomes_a), "b": len(outcomes_b),
+                        "common": len(common)},
+        "outcomes_a": _counts(outcomes_a),
+        "outcomes_b": _counts(outcomes_b),
+        "transitions": dict(sorted(transitions.items())),
+        "flips": flips,
+        "flip_count": len(flips),
+        "only_in_a": sorted(set(outcomes_a) - set(outcomes_b)),
+        "only_in_b": sorted(set(outcomes_b) - set(outcomes_a)),
+        "detection": None,
+    }
+
+    lat_a = _store_latencies(store_a)
+    lat_b = _store_latencies(store_b)
+    if lat_a is not None and lat_b is not None:
+        deltas = []
+        for key in common:
+            la, lb = lat_a.get(key), lat_b.get(key)
+            if la != lb:
+                deltas.append({"key": key, "a": la, "b": lb})
+        caught_a = [v for v in lat_a.values() if v is not None]
+        caught_b = [v for v in lat_b.values() if v is not None]
+        diff["detection"] = {
+            "caught": {"a": len(caught_a), "b": len(caught_b)},
+            "mean_latency": {
+                "a": (sum(caught_a) / len(caught_a)) if caught_a else None,
+                "b": (sum(caught_b) / len(caught_b)) if caught_b else None,
+            },
+            "deltas": deltas,
+        }
+    return diff
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable drift report."""
+    lines = [
+        f"campaign diff: {diff['a']}  vs  {diff['b']}",
+        (f"experiments: {diff['experiments']['a']} vs "
+         f"{diff['experiments']['b']} "
+         f"({diff['experiments']['common']} common)"),
+        "",
+        "outcome transitions (A -> B):",
+    ]
+    for label, count in diff["transitions"].items():
+        a, _, b = label.partition(" -> ")
+        marker = "  " if a == b else " *"
+        lines.append(f"{marker} {count:6d}  {label}")
+    if diff["flips"]:
+        lines.append("")
+        lines.append(f"flipped experiments ({diff['flip_count']}):")
+        for flip in diff["flips"]:
+            lines.append(f"   {flip['key']}  {flip['a']} -> {flip['b']}")
+    else:
+        lines.append("")
+        lines.append("no outcome flips")
+    for side, keys in (("A", diff["only_in_a"]), ("B", diff["only_in_b"])):
+        if keys:
+            lines.append(f"only in {side} ({len(keys)}): "
+                         + " ".join(keys[:8])
+                         + (" ..." if len(keys) > 8 else ""))
+    detection = diff.get("detection")
+    if detection is not None:
+        mean = detection["mean_latency"]
+        fmt = (lambda v: "-" if v is None else f"{v:.2f}")
+        lines.append("")
+        lines.append(
+            f"detection: caught {detection['caught']['a']} vs "
+            f"{detection['caught']['b']}, mean latency "
+            f"{fmt(mean['a'])} vs {fmt(mean['b'])} iterations")
+        for delta in detection["deltas"]:
+            lines.append(f"   {delta['key']}  latency {delta['a']} -> "
+                         f"{delta['b']}")
+    return "\n".join(lines)

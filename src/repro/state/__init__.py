@@ -8,6 +8,7 @@ from repro.state.arena import (
     ArenaLayoutError,
     StateArena,
     build_arenas,
+    training_state_digest,
 )
 from repro.state.batched import ExperimentStacks
 
@@ -17,6 +18,7 @@ __all__ = [
     "ExperimentStacks",
     "StateArena",
     "build_arenas",
+    "training_state_digest",
     "GRAD_SEGMENT",
     "OPT_SEGMENT_PREFIX",
     "PARAM_SEGMENT",

@@ -41,6 +41,7 @@ per-device extra state instead (see :mod:`repro.training.checkpoints`).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -236,6 +237,33 @@ class StateArena:
             f"StateArena({len(self.index)} leaves, {self.total} elements, "
             f"segments={sorted(self.segments)})"
         )
+
+
+def training_state_digest(trainer) -> str:
+    """sha256 over a trainer's final params, optimizer slots, and
+    per-replica extra state (BatchNorm moving statistics), in a
+    deterministic order.
+
+    This is the repo's definition of "byte-identical final training
+    state": the golden traces pin it across machines and backends, and
+    the replay gate verifies it per experiment.  The digest reads only
+    values the training loop already computed, so it is safe to take on
+    a live trainer (but must run before ``trainer.close()`` — the
+    multiprocess backend unlinks its shared-memory segments on close).
+    """
+    h = hashlib.sha256()
+    for name, param in sorted(trainer.master.named_parameters()):
+        h.update(name.encode())
+        h.update(param.data.tobytes())
+    opt = trainer.optimizer.state_dict()
+    for key in sorted(k for k in opt if k not in ("iteration", "lr")):
+        for arr in opt[key]:
+            h.update(arr.tobytes())
+    for replica in trainer.replicas:
+        for _mod_name, module in sorted(replica.named_modules()):
+            for _k, v in sorted(module.extra_state().items()):
+                h.update(v.tobytes())
+    return h.hexdigest()
 
 
 def build_arenas(replicas: list[Module]) -> list[StateArena] | None:

@@ -50,4 +50,9 @@ def build_workload(name: str, size: str = "small", seed: int = 0) -> WorkloadSpe
         raise KeyError(
             f"unknown workload {name!r}; available: {sorted(WORKLOAD_BUILDERS)}"
         ) from None
-    return builder(size=size, seed=seed)
+    spec = builder(size=size, seed=seed)
+    # Record the registry arguments so a campaign config (and hence a
+    # replay) can rebuild the identical spec from the name alone.
+    spec.extra.setdefault("size", size)
+    spec.extra.setdefault("seed", seed)
+    return spec

@@ -9,7 +9,6 @@ final parameter / optimizer-slot / extra-state bytes.  Any change that
 perturbs a single ULP anywhere in the training loop fails here.
 """
 
-import hashlib
 import json
 from pathlib import Path
 
@@ -17,6 +16,7 @@ import pytest
 
 from repro.distributed import SyncDataParallelTrainer
 from repro.observe import ITERATION_STATS, Tracer
+from repro.state import training_state_digest as state_digest
 from repro.workloads import build_workload, workload_names
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_traces.json"
@@ -34,24 +34,6 @@ def load_cases():
     with open(GOLDEN_PATH) as fh:
         golden = json.load(fh)
     return golden["cases"]
-
-
-def state_digest(trainer) -> str:
-    """sha256 over final params, optimizer slots, and per-replica extra
-    state (BatchNorm moving statistics), in a deterministic order."""
-    h = hashlib.sha256()
-    for name, param in sorted(trainer.master.named_parameters()):
-        h.update(name.encode())
-        h.update(param.data.tobytes())
-    opt = trainer.optimizer.state_dict()
-    for key in sorted(k for k in opt if k not in ("iteration", "lr")):
-        for arr in opt[key]:
-            h.update(arr.tobytes())
-    for replica in trainer.replicas:
-        for _mod_name, module in sorted(replica.named_modules()):
-            for _k, v in sorted(module.extra_state().items()):
-                h.update(v.tobytes())
-    return h.hexdigest()
 
 
 @pytest.mark.parametrize("backend", ["inprocess", "multiprocess", "batched"])
