@@ -17,20 +17,44 @@ import json
 import os
 from pathlib import Path
 
+from repro.bench.provenance import run_provenance
+
 #: Buffered report lines, flushed at terminal summary.
 LINES: list[str] = []
+
+#: One provenance stamp per harness run, shared by every artifact and
+#: the text report banner (computed lazily, cached).
+_PROVENANCE: dict | None = None
+
+
+def provenance() -> dict:
+    """The run's shared provenance stamp (git SHA, time, host, python)."""
+    global _PROVENANCE
+    if _PROVENANCE is None:
+        _PROVENANCE = run_provenance()
+    return _PROVENANCE
+
+
+def provenance_banner() -> str:
+    """One report line identifying where these measurements came from."""
+    stamp = provenance()
+    return (f"provenance: {stamp['git_sha'][:12]} @ {stamp['timestamp']} "
+            f"on {stamp['host']} (python {stamp['python']})")
 
 
 def write_artifact(name: str, data: dict) -> Path:
     """Persist one benchmark's measurements as ``BENCH_<name>.json``.
 
     The artifact lands in ``$BENCH_ARTIFACT_DIR`` (default: the current
-    working directory) and its path is echoed into the text report.
+    working directory), stamped with the run's provenance so ``repro
+    bench record`` can attach each number to a commit, and its path is
+    echoed into the text report.
     """
     directory = Path(os.environ.get("BENCH_ARTIFACT_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+    stamped = {**data, "provenance": provenance()}
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
     emit(f"artifact -> {path}")
     return path

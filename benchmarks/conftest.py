@@ -62,6 +62,7 @@ def pytest_terminal_summary(terminalreporter):
     import _report
 
     if _report.LINES:
+        terminalreporter.write_line(_report.provenance_banner())
         for line in _report.LINES:
             terminalreporter.write_line(line)
         _report.LINES.clear()

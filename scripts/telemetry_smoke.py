@@ -1,0 +1,131 @@
+"""CI smoke test for the live telemetry service.
+
+Launches a real parallel campaign with ``--serve 0`` as a subprocess,
+scrapes every endpoint while the campaign is still running, validates
+the Prometheus exposition, and — once the campaign finishes — exercises
+the bench-history pipeline (``repro bench record`` twice + an
+informational ``repro bench compare``) against a synthetic artifact.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.observe.export import validate_exposition  # noqa: E402
+
+POLL_TIMEOUT_S = 120.0
+
+
+def _fetch(url: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:  # 503 from /healthz is an answer
+        return exc.code, exc.read().decode("utf-8")
+
+
+def _wait_for_url(process) -> str:
+    """Read the campaign's stdout until it announces the endpoint."""
+    deadline = time.monotonic() + POLL_TIMEOUT_S
+    for line in process.stdout:
+        print(f"[campaign] {line.rstrip()}")
+        if line.startswith("telemetry: serving on "):
+            return line.split("telemetry: serving on ", 1)[1].strip()
+        if time.monotonic() > deadline:
+            break
+    raise RuntimeError("campaign never announced its telemetry endpoint")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="telemetry-smoke-"))
+    store = tmp / "campaign.jsonl"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", "resnet",
+         "--experiments", "8", "--parallel", "2",
+         "--store", str(store), "--serve", "0", "--serve-interval", "0.2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        url = _wait_for_url(process)
+        print(f"smoke: endpoint {url}")
+
+        scrapes = 0
+        deadline = time.monotonic() + POLL_TIMEOUT_S
+        while process.poll() is None and time.monotonic() < deadline:
+            status, metrics = _fetch(f"{url}/metrics")
+            assert status == 200, f"/metrics returned {status}"
+            samples = validate_exposition(metrics)
+            names = {name for name, _, _ in samples}
+            assert "repro_up" in names, f"no repro_up in scrape: {names}"
+
+            status, health = _fetch(f"{url}/healthz")
+            assert status in (200, 503), f"/healthz returned {status}"
+            json.loads(health)
+
+            status, progress = _fetch(f"{url}/progress")
+            assert status == 200, f"/progress returned {status}"
+            assert json.loads(progress)["schema"] == 1
+
+            status, alerts = _fetch(f"{url}/alerts")
+            assert status == 200, f"/alerts returned {status}"
+            json.loads(alerts)
+
+            scrapes += 1
+            time.sleep(0.3)
+        returncode = process.wait(timeout=POLL_TIMEOUT_S)
+        for line in process.stdout:
+            print(f"[campaign] {line.rstrip()}")
+        assert returncode == 0, f"campaign exited {returncode}"
+        assert scrapes >= 3, f"only {scrapes} mid-run scrapes landed"
+        series = store.with_name(store.stem + ".series.jsonl")
+        assert series.exists(), f"no telemetry series at {series}"
+        print(f"smoke: {scrapes} mid-run scrapes, all endpoints valid, "
+              f"series persisted")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    # Bench-history pipeline: record the same artifact twice with a
+    # perturbed metric, then compare informationally.
+    artifact = tmp / "BENCH_smoke.json"
+    history = tmp / "BENCH_HISTORY.jsonl"
+    artifact.write_text(json.dumps(
+        {"iterations_per_s": 100.0, "overhead_fraction": 0.01}) + "\n")
+    subprocess.run([sys.executable, "-m", "repro", "bench", "record",
+                    str(artifact), "--history", str(history)], check=True)
+    artifact.write_text(json.dumps(
+        {"iterations_per_s": 90.0, "overhead_fraction": 0.02}) + "\n")
+    subprocess.run([sys.executable, "-m", "repro", "bench", "record",
+                    str(artifact), "--history", str(history)], check=True)
+    compare = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "compare",
+         "--history", str(history), "--informational"],
+        capture_output=True, text=True)
+    print(compare.stdout, end="")
+    assert compare.returncode == 0, \
+        f"informational compare exited {compare.returncode}"
+    assert "regression" in compare.stdout, \
+        "induced 10% slowdown was not reported as a regression"
+    gating = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "compare",
+         "--history", str(history)], capture_output=True, text=True)
+    assert gating.returncode == 1, \
+        f"gating compare should exit 1 on regression, got {gating.returncode}"
+    print("smoke: bench record/compare detected the induced regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

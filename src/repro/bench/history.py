@@ -1,0 +1,250 @@
+"""Benchmark history: BENCH artifacts → JSONL trend line → regressions.
+
+``repro bench record`` ingests the ``BENCH_<name>.json`` artifacts a
+benchmark run leaves behind into an append-only ``BENCH_HISTORY.jsonl``
+— same file conventions as the result store and telemetry series: a
+schema-versioned header line, one flushed JSON record per line, and a
+truncated final line tolerated on read (a crash mid-append loses at most
+one record, never the file).
+
+``repro bench compare`` then diffs the newest run of each benchmark
+against the previous one.  Metric *direction* is inferred from the
+name — ``throughput``/``per_s``/``speedup`` style metrics should go up,
+``overhead``/``seconds``/``latency`` style metrics should go down;
+direction-less metrics (counts, configuration echoes) are reported but
+never gate.  A change worse than ``tolerance`` in the bad direction is
+a regression; CI runs the comparison after every benchmark job.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.provenance import run_provenance
+
+HISTORY_SCHEMA_VERSION = 1
+
+HEADER = "header"
+BENCH = "bench"
+
+#: Single tokens marking a metric where smaller is better.  Checked
+#: first: an "overhead_per_s" style name is an overhead, not a
+#: throughput.
+_LOWER_TOKENS = {"overhead", "seconds", "latency", "duration", "elapsed"}
+#: Token *pairs* for per-call costs ("ns_per_call", "us_per_emit", ...).
+_LOWER_PAIRS = {("ns", "per"), ("us", "per"), ("ms", "per")}
+#: Tokens / token pairs where bigger is better ("iterations_per_s",
+#: "throughput", "match_rate", ...).
+_HIGHER_TOKENS = {"throughput", "speedup", "iterations", "ops"}
+_HIGHER_PAIRS = {("per", "s"), ("per", "sec"), ("per", "second"),
+                 ("match", "rate")}
+
+
+class HistoryFormatError(ValueError):
+    """Raised when a history file is structurally unusable."""
+
+
+@dataclass
+class BenchComparison:
+    """One metric's latest-vs-previous verdict."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    #: Relative change, signed (``(current - baseline) / |baseline|``).
+    change: float
+    direction: str          # "higher" | "lower" | "none"
+    status: str             # "ok" | "regression" | "improved" | "untracked"
+    baseline_sha: str = "unknown"
+    current_sha: str = "unknown"
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench, "metric": self.metric,
+            "baseline": self.baseline, "current": self.current,
+            "change": self.change, "direction": self.direction,
+            "status": self.status, "baseline_sha": self.baseline_sha,
+            "current_sha": self.current_sha,
+        }
+
+    def message(self) -> str:
+        pct = f"{self.change:+.1%}"
+        return (f"[{self.status}] {self.bench}.{self.metric}: "
+                f"{self.baseline:.6g} -> {self.current:.6g} ({pct}, "
+                f"{self.direction} is better)"
+                if self.direction != "none" else
+                f"[{self.status}] {self.bench}.{self.metric}: "
+                f"{self.baseline:.6g} -> {self.current:.6g} ({pct})")
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"``, ``"lower"``, or ``"none"`` for a metric name.
+
+    Matches whole underscore-separated tokens, not raw substrings —
+    ``iterations_per_s`` must not match the ``ns_per`` cost pattern.
+    """
+    tokens = [t for t in re.split(r"[^a-z0-9]+", name.lower()) if t]
+    pairs = set(zip(tokens, tokens[1:]))
+    if _LOWER_TOKENS.intersection(tokens) or _LOWER_PAIRS & pairs:
+        return "lower"
+    if _HIGHER_TOKENS.intersection(tokens) or _HIGHER_PAIRS & pairs:
+        return "higher"
+    return "none"
+
+
+def _bench_name(path: Path) -> str:
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def _numeric_metrics(data: dict) -> dict[str, float]:
+    """Top-level numeric fields of one artifact (bools excluded)."""
+    metrics = {}
+    for key, value in data.items():
+        if key == "provenance":
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[key] = float(value)
+    return metrics
+
+
+def record_artifacts(paths: list[str | Path],
+                     history_path: str | Path,
+                     provenance: dict | None = None) -> list[dict]:
+    """Append one ``bench`` record per artifact to the history file.
+
+    All artifacts of one invocation share one provenance stamp (the
+    artifact's own embedded stamp, when present, is preserved alongside
+    as ``artifact_provenance``).  Returns the appended records.
+    """
+    history_path = Path(history_path)
+    if provenance is None:
+        provenance = run_provenance()
+    records = []
+    for raw in paths:
+        path = Path(raw)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HistoryFormatError(
+                f"unreadable artifact {path}: {exc}") from None
+        if not isinstance(data, dict):
+            raise HistoryFormatError(
+                f"artifact {path} is not a JSON object")
+        record = {
+            "record": BENCH,
+            "bench": _bench_name(path),
+            "metrics": _numeric_metrics(data),
+            "provenance": dict(provenance),
+        }
+        embedded = data.get("provenance")
+        if isinstance(embedded, dict):
+            record["artifact_provenance"] = embedded
+        records.append(record)
+    if not records:
+        return records
+
+    new_file = not history_path.exists() or \
+        history_path.stat().st_size == 0
+    with history_path.open("a", encoding="utf-8") as handle:
+        if new_file:
+            handle.write(json.dumps(
+                {"record": HEADER, "schema": HISTORY_SCHEMA_VERSION,
+                 "kind": "bench_history"}, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+    return records
+
+
+def read_history(history_path: str | Path) -> tuple[dict, list[dict]]:
+    """``(header, bench_records)`` — truncated-final-line tolerant."""
+    history_path = Path(history_path)
+    try:
+        lines = history_path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise HistoryFormatError(f"cannot read {history_path}: {exc}") \
+            from None
+    if not lines:
+        raise HistoryFormatError(f"{history_path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise HistoryFormatError(
+            f"{history_path}: malformed header line") from None
+    if not isinstance(header, dict) or header.get("record") != HEADER:
+        raise HistoryFormatError(f"{history_path}: first line is not a "
+                                 f"history header")
+    if header.get("schema") != HISTORY_SCHEMA_VERSION:
+        raise HistoryFormatError(
+            f"{history_path}: schema {header.get('schema')!r}, expected "
+            f"{HISTORY_SCHEMA_VERSION}")
+    records = []
+    for index, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines):    # torn tail from a crash mid-append
+                break
+            raise HistoryFormatError(
+                f"{history_path}: malformed line {index}") from None
+        if isinstance(record, dict) and record.get("record") == BENCH:
+            records.append(record)
+    return header, records
+
+
+def compare(history_path: str | Path, tolerance: float = 0.05,
+            metrics: list[str] | None = None) -> list[BenchComparison]:
+    """Diff each benchmark's newest record against its previous one.
+
+    ``metrics`` restricts the gate to named metrics (exact match on
+    ``metric`` or ``bench.metric``); by default every directional metric
+    gates.  Direction-less metrics come back ``untracked`` and a first
+    observation of a benchmark yields no comparison at all.
+    """
+    _, records = read_history(history_path)
+    by_bench: dict[str, list[dict]] = {}
+    for record in records:
+        by_bench.setdefault(record.get("bench", "?"), []).append(record)
+
+    comparisons: list[BenchComparison] = []
+    for bench in sorted(by_bench):
+        runs = by_bench[bench]
+        if len(runs) < 2:
+            continue
+        previous, latest = runs[-2], runs[-1]
+        prev_metrics = previous.get("metrics", {})
+        cur_metrics = latest.get("metrics", {})
+        for name in sorted(set(prev_metrics) & set(cur_metrics)):
+            if metrics and name not in metrics \
+                    and f"{bench}.{name}" not in metrics:
+                continue
+            baseline = float(prev_metrics[name])
+            current = float(cur_metrics[name])
+            change = ((current - baseline) / abs(baseline)
+                      if baseline else (0.0 if current == baseline else
+                                        float("inf")))
+            direction = metric_direction(name)
+            if direction == "none":
+                status = "untracked"
+            elif direction == "higher":
+                status = ("regression" if change < -tolerance else
+                          "improved" if change > tolerance else "ok")
+            else:
+                status = ("regression" if change > tolerance else
+                          "improved" if change < -tolerance else "ok")
+            comparisons.append(BenchComparison(
+                bench=bench, metric=name, baseline=baseline,
+                current=current, change=change, direction=direction,
+                status=status,
+                baseline_sha=(previous.get("provenance") or {})
+                .get("git_sha", "unknown"),
+                current_sha=(latest.get("provenance") or {})
+                .get("git_sha", "unknown")))
+    return comparisons

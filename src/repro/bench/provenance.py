@@ -1,0 +1,46 @@
+"""Provenance stamps for benchmark artifacts.
+
+A benchmark number with no commit attached is trivia; attached to a git
+SHA it is a data point on a trend line.  :func:`run_provenance` captures
+where a measurement came from — commit, wall-clock time, host, platform,
+interpreter — cheaply enough to stamp onto every artifact.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import socket
+import subprocess
+import time
+
+
+def git_sha(cwd: str | None = None) -> str:
+    """The current commit SHA: ``$GITHUB_SHA`` when CI provides it,
+    otherwise ``git rev-parse HEAD``, otherwise ``"unknown"``."""
+    env_sha = os.environ.get("GITHUB_SHA", "").strip()
+    if env_sha:
+        return env_sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def run_provenance(cwd: str | None = None) -> dict:
+    """One provenance stamp: commit, time, host, platform, python."""
+    now = time.time()
+    return {
+        "git_sha": git_sha(cwd),
+        "timestamp": datetime.datetime.fromtimestamp(
+            now, tz=datetime.timezone.utc).isoformat(),
+        "unix_time": now,
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }

@@ -11,9 +11,14 @@ injection, evaluate the technique) as subcommands::
     python -m repro campaign resnet --experiments 40
     python -m repro campaign resnet --experiments 400 --parallel 4 \\
         --store results.jsonl --resume --progress-every 20 --trace --detect
+    python -m repro campaign resnet --experiments 400 --parallel 4 \\
+        --store results.jsonl --serve 9100 --slo slo_rules.json
     python -m repro report results.jsonl [--json]
     python -m repro monitor results.jsonl --follow
     python -m repro monitor results.jsonl --once --max-quarantine-rate 0.1
+    python -m repro monitor results.jsonl --serve 9100 --slo slo_rules.json
+    python -m repro bench record BENCH_*.json --history BENCH_HISTORY.jsonl
+    python -m repro bench compare --history BENCH_HISTORY.jsonl
     python -m repro merge merged.jsonl shard0.jsonl shard1.jsonl
     python -m repro validate --experiments 400
     python -m repro mitigate resnet --iteration 20 --trace run.trace.jsonl
@@ -235,17 +240,44 @@ def cmd_campaign(args) -> int:
         print("--experiment-batch requires --backend batched",
               file=sys.stderr)
         return 2
+    if args.serve is not None and not args.store:
+        print("--serve requires --store (the telemetry series is "
+              "persisted next to it)", file=sys.stderr)
+        return 2
+    if args.slo and args.serve is None:
+        print("--slo requires --serve (rules evaluate over the live "
+              "telemetry series)", file=sys.stderr)
+        return 2
+
+    telemetry = None
+    if args.serve is not None:
+        from repro.observe.slo import load_rules
+        from repro.serve import CampaignTelemetry
+
+        rules = load_rules(args.slo) if args.slo else []
+        telemetry = CampaignTelemetry(
+            store_path=args.store, port=args.serve,
+            interval=args.serve_interval, rules=rules,
+            meta={"workload": args.workload, "store": args.store})
+        telemetry.start()
+        print(f"telemetry: serving on {telemetry.url}", flush=True)
+
     spec = build_workload(args.workload, size=args.size, seed=args.seed)
     campaign = Campaign(spec, num_devices=args.devices, seed=args.seed,
                         test_every=max(spec.iterations // 6, 1),
                         detect=args.detect, backend=args.backend,
                         experiment_batch=args.experiment_batch)
-    result = campaign.run(
-        args.experiments, seed=args.campaign_seed,
-        parallel=args.parallel, store=args.store, resume=args.resume,
-        timeout=args.timeout, max_retries=args.retries,
-        on_progress=_progress_printer(args.progress_every),
-        trace=args.trace)
+    try:
+        result = campaign.run(
+            args.experiments, seed=args.campaign_seed,
+            parallel=args.parallel, store=args.store, resume=args.resume,
+            timeout=args.timeout, max_retries=args.retries,
+            on_progress=_progress_printer(args.progress_every),
+            on_engine=telemetry.on_engine if telemetry else None,
+            trace=args.trace)
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     print(render_campaign(result))
     report = result.engine_report
     if report is not None:
@@ -258,6 +290,16 @@ def cmd_campaign(args) -> int:
         print(f"result store: {args.store}")
     if report is not None and report.trace_path is not None:
         print(f"campaign trace: {report.trace_path}")
+    if telemetry is not None:
+        if telemetry.series_path is not None:
+            print(f"telemetry series: {telemetry.series_path} "
+                  f"({telemetry.sampler.samples_taken} samples)")
+        breached = telemetry.breached()
+        if breached:
+            print("slo: sustained breach of critical rule"
+                  f"{'s' if len(breached) > 1 else ''}: "
+                  + ", ".join(breached), file=sys.stderr)
+            return 1
     return 0
 
 
@@ -419,6 +461,10 @@ def cmd_monitor(args) -> int:
         render_text,
         snapshot_dict,
     )
+    from repro.engine.monitor import monitor_flat_metrics
+    from repro.observe.slo import evaluate_once, load_rules
+
+    rules = load_rules(args.slo) if args.slo else []
 
     def observe():
         state = collect(args.store, stall_after=args.stall_after)
@@ -427,10 +473,36 @@ def cmd_monitor(args) -> int:
                         max_divergence_rate=args.max_divergence_rate)
         return state
 
+    if args.serve is not None:
+        from repro.serve import serve_monitor
+
+        outcome = serve_monitor(
+            args.store, port=args.serve, interval=args.interval,
+            rules=rules, stall_after=args.stall_after,
+            max_quarantine_rate=args.max_quarantine_rate,
+            max_divergence_rate=args.max_divergence_rate,
+            on_start=lambda url: print(f"telemetry: serving on {url}",
+                                       flush=True),
+            on_poll=lambda state: print(render_text(state) + "\n",
+                                        flush=True))
+        failures = list(outcome["alerts"])
+        failures += [f"slo:{name}" for name in outcome["slo_breached"]]
+        if failures:
+            print("monitor: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        return 0
+
     state = observe()
     if args.json:
-        print(json.dumps(snapshot_dict(state), indent=2, sort_keys=True))
-        return 1 if state.alerts else 0
+        snapshot = snapshot_dict(state)
+        if rules:
+            statuses = evaluate_once(rules, monitor_flat_metrics(state))
+            snapshot["slo"] = [s.to_dict() for s in statuses]
+            firing = [s for s in statuses if s.firing]
+        else:
+            firing = []
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 1 if state.alerts or firing else 0
     if args.follow:
         try:
             while True:
@@ -452,8 +524,13 @@ def cmd_monitor(args) -> int:
         Path(args.markdown).write_text(render_markdown(state),
                                        encoding="utf-8")
         print(f"markdown snapshot -> {args.markdown}")
-    if state.alerts:
-        print("monitor: " + "; ".join(state.alerts), file=sys.stderr)
+    firing = [s for s in evaluate_once(rules, monitor_flat_metrics(state))
+              if s.firing] if rules else []
+    for status in firing:
+        print(f"  SLO        {status.message()}")
+    if state.alerts or firing:
+        print("monitor: " + "; ".join(
+            state.alerts + [s.message() for s in firing]), file=sys.stderr)
         return 1
     return 0
 
@@ -525,6 +602,65 @@ def cmd_diff_campaign(args) -> int:
     else:
         print(render_diff(diff))
     return 1 if diff["flip_count"] else 0
+
+
+def cmd_bench_record(args) -> int:
+    """``repro bench record``: fold BENCH artifacts into the history."""
+    from pathlib import Path
+
+    from repro.bench import record_artifacts
+
+    artifacts = [Path(p) for p in args.artifacts]
+    if not artifacts:
+        artifacts = sorted(Path(".").glob("BENCH_*.json"))
+    if not artifacts:
+        print("no BENCH_*.json artifacts found (run the benchmarks first, "
+              "or pass artifact paths)", file=sys.stderr)
+        return 2
+    records = record_artifacts(artifacts, args.history)
+    sha = records[0]["provenance"]["git_sha"][:12] if records else "?"
+    for record in records:
+        metrics = record["metrics"]
+        print(f"recorded {record['bench']}: {len(metrics)} metric"
+              f"{'s' if len(metrics) != 1 else ''} @ {sha}")
+    print(f"bench history: {args.history}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """``repro bench compare``: diff the newest runs, gate regressions."""
+    import json
+    from pathlib import Path
+
+    from repro.bench import compare
+
+    if not Path(args.history).exists():
+        print(f"no bench history at {args.history}; nothing to compare",
+              file=sys.stderr)
+        return 0 if args.informational else 2
+    comparisons = compare(args.history, tolerance=args.tolerance,
+                          metrics=args.metric)
+    regressions = [c for c in comparisons if c.status == "regression"]
+    if args.json:
+        print(json.dumps({
+            "history": str(args.history),
+            "tolerance": args.tolerance,
+            "comparisons": [c.to_dict() for c in comparisons],
+            "regressions": [f"{c.bench}.{c.metric}" for c in regressions],
+        }, indent=2, sort_keys=True))
+    else:
+        if not comparisons:
+            print("bench compare: fewer than two recorded runs per "
+                  "benchmark; nothing to compare")
+        for comparison in comparisons:
+            print(comparison.message())
+        if regressions:
+            print(f"bench compare: {len(regressions)} regression"
+                  f"{'s' if len(regressions) != 1 else ''} beyond "
+                  f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+    if regressions and not args.informational:
+        return 1
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -635,6 +771,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="attach the Sec. 5.1 detector (observe-only) "
                                "to every experiment so detector_fired "
                                "events land in the campaign trace")
+    campaign.add_argument("--serve", type=int, metavar="PORT",
+                          help="serve live telemetry (/metrics /healthz "
+                               "/progress /alerts) on 127.0.0.1:PORT while "
+                               "the campaign runs (0 = ephemeral port); "
+                               "requires --store")
+    campaign.add_argument("--serve-interval", type=float, default=1.0,
+                          metavar="S",
+                          help="telemetry sampling interval in seconds "
+                               "(default: 1)")
+    campaign.add_argument("--slo", metavar="RULES.json",
+                          help="declarative SLO rules evaluated over the "
+                               "live series; a sustained critical breach "
+                               "makes the campaign exit nonzero "
+                               "(requires --serve)")
     campaign.set_defaults(func=cmd_campaign)
 
     report = sub.add_parser("report",
@@ -673,6 +823,14 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--max-divergence-rate", type=float, metavar="R",
                          help="exit nonzero when the INF/NaN outcome "
                               "fraction exceeds R")
+    monitor.add_argument("--serve", type=int, metavar="PORT",
+                         help="poll the store into a served telemetry "
+                              "endpoint on 127.0.0.1:PORT until the "
+                              "campaign completes (0 = ephemeral port)")
+    monitor.add_argument("--slo", metavar="RULES.json",
+                         help="declarative SLO rules evaluated against "
+                              "each observation (embedded in --json, "
+                              "gates the exit code)")
     monitor.set_defaults(func=cmd_monitor)
 
     merge = sub.add_parser("merge",
@@ -745,6 +903,41 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--json", action="store_true",
                       help="machine-readable JSON (deterministic)")
     diff.set_defaults(func=cmd_diff_campaign)
+
+    bench = sub.add_parser(
+        "bench",
+        help="record benchmark artifacts into a history and compare runs")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_sub.add_parser(
+        "record",
+        help="ingest BENCH_<name>.json artifacts into the bench history")
+    bench_record.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                              help="artifact paths (default: ./BENCH_*.json)")
+    bench_record.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                              metavar="PATH",
+                              help="history file to append to "
+                                   "(default: BENCH_HISTORY.jsonl)")
+    bench_record.set_defaults(func=cmd_bench_record)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff each benchmark's newest recorded run against the "
+             "previous one")
+    bench_compare.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                               metavar="PATH")
+    bench_compare.add_argument("--tolerance", type=float, default=0.05,
+                               metavar="R",
+                               help="relative change beyond which a "
+                                    "directional metric counts as a "
+                                    "regression (default: 0.05)")
+    bench_compare.add_argument("--metric", action="append", metavar="NAME",
+                               help="restrict the gate to this metric "
+                                    "(repeatable; matches 'metric' or "
+                                    "'bench.metric')")
+    bench_compare.add_argument("--informational", action="store_true",
+                               help="report regressions but always exit 0")
+    bench_compare.add_argument("--json", action="store_true",
+                               help="machine-readable comparison output")
+    bench_compare.set_defaults(func=cmd_bench_compare)
 
     profile = sub.add_parser("profile",
                              help="profile hot-path timings over a short run")

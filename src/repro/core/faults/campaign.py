@@ -346,7 +346,7 @@ class Campaign:
         without the payload-agnostic engine threading a tracer through.
         """
         from repro.core.mitigation.detector import HardwareFailureDetector
-        from repro.observe import current_tracer
+        from repro.observe import current_tracer, histogram
 
         self.prepare()
         if tracer is None:
@@ -357,8 +357,10 @@ class Campaign:
         ptracer = PropagationTracer()
         trainer.add_hook(injector)
         trainer.add_hook(ptracer)
+        detector = None
         if self.detect:
-            trainer.add_hook(HardwareFailureDetector())
+            detector = HardwareFailureDetector()
+            trainer.add_hook(detector)
         remaining = self.warmup_iterations + self.horizon - trainer.iteration
         arena_sha256 = None
         try:
@@ -368,6 +370,11 @@ class Campaign:
             arena_sha256 = training_state_digest(trainer)
         finally:
             trainer.close()
+        if detector is not None:
+            latency = detector.detection_latency(fault.iteration)
+            if latency is not None:
+                histogram("detector.latency_iterations").observe(
+                    float(latency))
         report = classify_outcome(
             trainer.record, self.reference, fault.iteration, self.thresholds
         )
@@ -502,7 +509,7 @@ class Campaign:
     def run(self, num_experiments: int, seed: int = 1234, *,
             parallel: int = 1, store=None, resume: bool = False,
             timeout: float | None = None, max_retries: int = 2,
-            on_progress=None, tracer=None,
+            on_progress=None, tracer=None, on_engine=None,
             trace: bool = False) -> CampaignResult:
         """Run ``num_experiments`` seeded experiments and aggregate.
 
@@ -514,9 +521,11 @@ class Campaign:
         holds.  ``trace=True`` turns on the flight recorder: every
         worker streams its experiments' events into a shard next to the
         store, merged into one campaign trace at the end of the run
-        (``EngineReport.trace_path``).  Experiments are fully seeded, so
-        the aggregate outcome breakdown is identical at any worker
-        count.
+        (``EngineReport.trace_path``).  ``on_engine`` receives the
+        engine right before execution starts — the telemetry service
+        hooks it to read live progress snapshots.  Experiments are fully
+        seeded, so the aggregate outcome breakdown is identical at any
+        worker count.
         """
         from repro.core.faults.serialization import experiment_from_dict
         from repro.engine import CampaignEngine, EngineConfig, ResultStore
@@ -562,6 +571,8 @@ class Campaign:
                          # processes, which daemonic workers may not do.
                          worker_daemon=(self.backend != "multiprocess")),
             store=store_obj, on_progress=on_progress, tracer=tracer)
+        if on_engine is not None:
+            on_engine(engine)
         try:
             report = engine.run(self._work_units(faults))
         finally:

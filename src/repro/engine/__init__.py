@@ -18,10 +18,12 @@ from repro.engine.monitor import (
     WorkerShard,
     collect,
     evaluate_alerts,
+    monitor_flat_metrics,
     render_html,
     render_markdown,
     render_text,
     snapshot_dict,
+    telemetry_sample,
 )
 from repro.engine.scheduler import CampaignEngine, EngineConfig, EngineReport
 from repro.engine.store import (
@@ -63,10 +65,12 @@ __all__ = [
     "evaluate_alerts",
     "experiment_key",
     "merge_stores",
+    "monitor_flat_metrics",
     "read_records",
     "render_html",
     "render_markdown",
     "render_text",
     "snapshot_dict",
     "store_to_campaign",
+    "telemetry_sample",
 ]

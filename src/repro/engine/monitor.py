@@ -37,11 +37,12 @@ from repro.observe import (
     read_trace,
     shard_paths,
 )
+from repro.observe.slo import evaluate_once, threshold_rules
 
-#: Outcome labels that count as training divergence (the INF/NaN
-#: classes of the Table 3 taxonomy) for the divergence-rate alert.
-DIVERGENCE_OUTCOMES = frozenset({
-    "immediate_inf_nan", "short_term_inf_nan", "latent_inf_nan"})
+# Shared with the telemetry sampler (re-exported here and from
+# ``repro.engine`` for back-compat): outcome labels that count as
+# training divergence (the INF/NaN classes of the Table 3 taxonomy).
+from repro.observe.timeseries import DIVERGENCE_OUTCOMES, TelemetrySample
 
 #: How many recent completions / detector firings the dashboard keeps.
 RECENT = 8
@@ -225,19 +226,46 @@ def collect(store_path: str | Path, stall_after: float | None = None,
     return state
 
 
+def monitor_flat_metrics(state: MonitorState) -> dict[str, float]:
+    """The flat metric namespace of one observation, as the SLO engine
+    addresses it.  Rates are omitted (not zero) before any data exists,
+    so rules stay ``no_data`` instead of trivially passing."""
+    flat: dict[str, float] = {
+        "campaign.completed": float(state.completed),
+        "campaign.quarantined": float(state.quarantined),
+        "workers.stalled": float(len(state.stalled_workers)),
+    }
+    if state.attempted:
+        flat["campaign.quarantine_rate"] = state.quarantine_rate
+    if state.completed:
+        flat["campaign.divergence_rate"] = state.divergence_rate
+    if state.throughput is not None:
+        flat["campaign.throughput"] = state.throughput
+    return flat
+
+
 def evaluate_alerts(state: MonitorState,
                     max_quarantine_rate: float | None = None,
                     max_divergence_rate: float | None = None) -> list[str]:
-    """Check alert thresholds; fills and returns ``state.alerts``."""
+    """Check alert thresholds; fills and returns ``state.alerts``.
+
+    The classic flags are compiled to instantaneous SLO rules and run
+    through the same engine as ``--slo`` rule files; the legacy alert
+    strings (asserted by downstream tooling) are rendered from the
+    firing statuses.
+    """
+    rules = threshold_rules(max_quarantine_rate=max_quarantine_rate,
+                            max_divergence_rate=max_divergence_rate)
+    firing = {status.rule for status in
+              evaluate_once(rules, monitor_flat_metrics(state))
+              if status.firing}
     alerts: list[str] = []
-    if max_quarantine_rate is not None and state.attempted \
-            and state.quarantine_rate > max_quarantine_rate:
+    if "quarantine-rate" in firing:
         alerts.append(
             f"quarantine rate {state.quarantine_rate:.2f} exceeds "
             f"{max_quarantine_rate:.2f} "
             f"({state.quarantined}/{state.attempted} experiments)")
-    if max_divergence_rate is not None and state.completed \
-            and state.divergence_rate > max_divergence_rate:
+    if "divergence-rate" in firing:
         alerts.append(
             f"divergence rate {state.divergence_rate:.2f} exceeds "
             f"{max_divergence_rate:.2f}")
@@ -247,6 +275,38 @@ def evaluate_alerts(state: MonitorState,
             + ", ".join(f"w{wid}" for wid in state.stalled_workers))
     state.alerts = alerts
     return alerts
+
+
+def telemetry_sample(state: MonitorState,
+                     now: float | None = None) -> TelemetrySample:
+    """One observation as a :class:`TelemetrySample`, so the monitor's
+    polled on-disk view feeds the same exposition/SLO machinery as a
+    live engine (``repro monitor --serve``)."""
+    if now is None:
+        now = time.time()
+    gauges = {
+        "campaign.done": float(state.completed),
+        "campaign.quarantined": float(state.quarantined),
+        "campaign.quarantine_rate": state.quarantine_rate,
+        "campaign.divergence_rate": state.divergence_rate,
+        "workers.alive": float(len(state.workers)),
+        "workers.busy": float(sum(w.busy_key is not None
+                                  for w in state.workers)),
+        "workers.stalled": float(len(state.stalled_workers)),
+    }
+    if state.total is not None:
+        gauges["campaign.total"] = float(state.total)
+        gauges["campaign.remaining"] = float(
+            max(state.total - state.attempted, 0))
+    if state.throughput is not None:
+        gauges["campaign.throughput"] = state.throughput
+    if state.eta is not None:
+        gauges["campaign.eta_seconds"] = state.eta
+    if state.last_result_age is not None:
+        gauges["campaign.last_result_age_seconds"] = state.last_result_age
+    return TelemetrySample(
+        t=now, gauges=gauges,
+        outcomes={k: int(v) for k, v in sorted(state.breakdown.items())})
 
 
 def snapshot_dict(state: MonitorState) -> dict:

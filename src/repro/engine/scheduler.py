@@ -41,6 +41,7 @@ from repro.observe import (
     Tracer,
     campaign_trace_path,
     counter,
+    histogram,
     merge_campaign_shards,
     profile_scope,
     set_current_tracer,
@@ -110,6 +111,9 @@ class _Task:
     attempts: int = 0
     not_before: float = 0.0
     last_error: str = ""
+    #: ``time.monotonic()`` when the current lease started (0 = never
+    #: leased); feeds the ``engine.experiment_seconds`` histogram.
+    leased_at: float = 0.0
 
 
 class _WorkerHandle:
@@ -162,6 +166,17 @@ class CampaignEngine:
         #: Event sink for scheduler-level events (completions and
         #: quarantines); defaults to the disabled NULL_TRACER.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The live tracker of the current run, for out-of-band readers
+        #: (the telemetry sampler thread).  None outside ``run``.
+        self._tracker: ProgressTracker | None = None
+
+    def progress(self) -> ProgressSnapshot | None:
+        """A progress snapshot of the in-flight run (None when idle).
+
+        Safe to call from another thread: the tracker copies its state
+        under snapshot, so the sampler never touches engine internals."""
+        tracker = self._tracker
+        return tracker.snapshot() if tracker is not None else None
 
     # ------------------------------------------------------------------
     # Entry point
@@ -193,6 +208,7 @@ class CampaignEngine:
 
         tracker = ProgressTracker(total=len(units), skipped=report.skipped,
                                   stall_timeout=self.config.timeout)
+        self._tracker = tracker
         field_name = self.config.outcome_field
         tracker.preload_breakdown([
             payload[field_name] for payload in report.results.values()
@@ -231,6 +247,9 @@ class CampaignEngine:
         if self.store is not None:
             self.store.append(task.unit.key, payload)
         counter("engine.completed").inc()
+        if task.leased_at:
+            histogram("engine.experiment_seconds").observe(
+                max(time.monotonic() - task.leased_at, 0.0))
         self.tracer.emit(EXPERIMENT_COMPLETED, key=task.unit.key,
                          outcome=self._outcome(payload))
         tracker.task_done(worker_id, self._outcome(payload))
@@ -293,6 +312,7 @@ class CampaignEngine:
                                            tracker, capture)
                     continue
                 tracker.task_started(0, task.unit.key)
+                task.leased_at = time.monotonic()
                 if capture is not None:
                     capture.start(task.unit.key, task.unit.payload)
                 try:
@@ -341,6 +361,7 @@ class CampaignEngine:
         dedup anchors)."""
         for task in block:
             tracker.task_started(0, task.unit.key)
+            task.leased_at = time.monotonic()
         try:
             with profile_scope("engine.experiment"):
                 payloads = runner([task.unit.payload for task in block])
@@ -425,6 +446,7 @@ class CampaignEngine:
                         if self.config.timeout is not None else None)
                     for leased in block:
                         tracker.task_started(handle.id, leased.unit.key)
+                        leased.leased_at = now
                     if len(block) == 1:
                         handle.queue.put((task.unit.key, task.unit.payload))
                     else:

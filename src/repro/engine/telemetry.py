@@ -167,7 +167,9 @@ class ProgressTracker:
         remaining = max(self.total - done - self.quarantined, 0)
         eta = remaining / throughput if throughput > 0 else None
         workers = {}
-        for wid, w in self.workers.items():
+        # list() copies: the telemetry sampler snapshots from its own
+        # thread while the engine mutates these dicts.
+        for wid, w in list(self.workers.items()):
             copy = WorkerHealth(**vars(w))
             copy.busy_elapsed_s = w.busy_elapsed(now)
             workers[wid] = copy

@@ -51,6 +51,13 @@ from repro.observe.events import (
     TraceFormatError,
     TraceSchemaError,
 )
+from repro.observe.export import (
+    dumps_json,
+    metric_name,
+    render_json,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.observe.merge import (
     REPLICA_SHARD_PREFIX,
     SHARD_PREFIX,
@@ -70,6 +77,28 @@ from repro.observe.profiler import (
     profile_scope,
     render_profile,
 )
+from repro.observe.slo import (
+    SLOConfigError,
+    SLOEngine,
+    SLORule,
+    SLOStatus,
+    evaluate_once,
+    load_rules,
+    threshold_rules,
+)
+from repro.observe.timeseries import (
+    DIVERGENCE_OUTCOMES,
+    SERIES_SCHEMA_VERSION,
+    SeriesBuffer,
+    SeriesFormatError,
+    SeriesWriter,
+    TelemetrySample,
+    TelemetrySampler,
+    build_sample,
+    derive_rates,
+    read_series,
+    series_path,
+)
 from repro.observe.tracer import (
     NULL_TRACER,
     TraceFile,
@@ -82,6 +111,7 @@ from repro.observe.tracer import (
 __all__ = [
     "DETECTOR_FIRED",
     "DIVERGENCE",
+    "DIVERGENCE_OUTCOMES",
     "EVENT_TYPES",
     "EXPERIMENT_COMPLETED",
     "EXPERIMENT_FINISHED",
@@ -96,7 +126,12 @@ __all__ = [
     "REPLICA_SHARD_PREFIX",
     "REPLICA_STEP",
     "ROLLBACK",
+    "SERIES_SCHEMA_VERSION",
     "SHARD_PREFIX",
+    "SLOConfigError",
+    "SLOEngine",
+    "SLORule",
+    "SLOStatus",
     "STRAGGLER_DETECTED",
     "TRACE_SCHEMA_VERSION",
     "Counter",
@@ -104,27 +139,44 @@ __all__ = [
     "MetricsRegistry",
     "ProfileStat",
     "Profiler",
+    "SeriesBuffer",
+    "SeriesFormatError",
+    "SeriesWriter",
+    "TelemetrySample",
+    "TelemetrySampler",
     "TraceEvent",
     "TraceFile",
     "TraceFormatError",
     "TraceMergeResult",
     "TraceSchemaError",
     "Tracer",
+    "build_sample",
     "campaign_trace_path",
     "counter",
     "current_tracer",
+    "derive_rates",
+    "dumps_json",
+    "evaluate_once",
     "histogram",
+    "load_rules",
+    "metric_name",
     "merge_campaign_shards",
     "merge_traces",
     "metrics_enabled",
     "metrics_snapshot",
     "profile_scope",
+    "read_series",
     "read_trace",
+    "render_json",
     "render_profile",
+    "render_prometheus",
     "replica_shard_path",
     "replica_trace_path",
+    "series_path",
     "set_current_tracer",
     "set_metrics_enabled",
     "shard_path",
     "shard_paths",
+    "threshold_rules",
+    "validate_exposition",
 ]

@@ -1,0 +1,402 @@
+"""Live campaign telemetry: periodic samples in a bounded ring buffer.
+
+Post-hoc analytics (``repro trace --analyze``, ``repro report``) answer
+"what happened"; a multi-day campaign also needs "what is happening
+*now*" — continuously, cheaply, and without touching the hot path.  The
+large-scale FI literature (PyTorchFI at scale, the TF injector studies)
+treats continuous campaign monitoring as a validation-efficiency
+requirement, not a luxury.  This module provides the substrate:
+
+* :class:`TelemetrySample` — one timestamped observation: campaign
+  gauges (progress, throughput, ETA, rates), raw counter values from
+  the :class:`~repro.observe.counters.MetricsRegistry`, histogram
+  summaries (count/sum/mean/max/p50/p99), and the outcome tally;
+* :func:`build_sample` — assemble a sample from the registry plus an
+  engine :class:`~repro.engine.telemetry.ProgressSnapshot`; everything
+  is read from *snapshots*, never from live training state, so the
+  sampler thread cannot perturb the measured system;
+* :func:`derive_rates` — per-second counter rates between consecutive
+  samples (monotonic counters; a reset restarts the rate from zero);
+* :class:`SeriesBuffer` — a bounded deque of samples (the ring);
+* :class:`SeriesWriter` / :func:`read_series` — schema-versioned JSONL
+  persistence next to the :class:`~repro.engine.store.ResultStore`,
+  following the store/trace file conventions (header line, per-line
+  flush, truncated-tail tolerance);
+* :class:`TelemetrySampler` — a daemon thread that samples on an
+  interval, derives rates, appends to the ring, persists, and feeds an
+  optional :class:`~repro.observe.slo.SLOEngine`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.observe.counters import REGISTRY, MetricsRegistry
+
+#: On-disk schema version of the series file.  Bump on incompatible
+#: changes to the sample layout; readers reject unknown versions.
+SERIES_SCHEMA_VERSION = 1
+
+#: Record type tags (mirroring the store/trace conventions).
+SERIES_HEADER = "header"
+SERIES_SAMPLE = "sample"
+
+#: Outcome labels that count as training divergence (the INF/NaN
+#: classes of the Table 3 taxonomy).  Lives here so the monitor, the
+#: sampler, and the SLO rules share one definition.
+DIVERGENCE_OUTCOMES = frozenset({
+    "immediate_inf_nan", "short_term_inf_nan", "latent_inf_nan"})
+
+
+class SeriesFormatError(ValueError):
+    """Raised for structurally invalid series files."""
+
+
+def series_path(store_path: str | Path) -> Path:
+    """The telemetry series file written next to a result store."""
+    store_path = Path(store_path)
+    return store_path.with_name(store_path.stem + ".series.jsonl")
+
+
+@dataclass
+class TelemetrySample:
+    """One timestamped observation of a campaign's telemetry."""
+
+    #: Wall-clock sample time (``time.time()``).
+    t: float
+    #: Instantaneous values: progress, throughput, rates, worker tallies.
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: Raw cumulative values of every registry counter.
+    counters: dict[str, float] = field(default_factory=dict)
+    #: Registry histogram summaries (count/sum/mean/max/p50/p99).
+    histograms: dict[str, dict] = field(default_factory=dict)
+    #: Outcome label -> completed-experiment count.
+    outcomes: dict[str, int] = field(default_factory=dict)
+    #: Per-second counter rates derived against the previous sample.
+    rates: dict[str, float] = field(default_factory=dict)
+
+    def flat(self) -> dict[str, float]:
+        """One flat ``metric name -> value`` view of the sample.
+
+        This is the namespace SLO rules and exporters address:
+        gauges keep their names, counters gain a ``counter.`` prefix,
+        rates a ``rate.`` prefix, histogram fields flatten to
+        ``<name>.<field>``, and outcome tallies to ``outcome.<label>``.
+        """
+        flat: dict[str, float] = dict(self.gauges)
+        for name, value in self.counters.items():
+            flat[f"counter.{name}"] = value
+        for name, value in self.rates.items():
+            flat[f"rate.{name}"] = value
+        for name, summary in self.histograms.items():
+            for key in ("count", "sum", "mean", "max", "p50", "p99"):
+                if key in summary:
+                    flat[f"{name}.{key}"] = float(summary[key])
+        for label, count in self.outcomes.items():
+            flat[f"outcome.{label}"] = float(count)
+        return flat
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySample":
+        return cls(t=float(data["t"]),
+                   gauges=dict(data.get("gauges") or {}),
+                   counters=dict(data.get("counters") or {}),
+                   histograms=dict(data.get("histograms") or {}),
+                   outcomes=dict(data.get("outcomes") or {}),
+                   rates=dict(data.get("rates") or {}))
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and value == value \
+        and value not in (float("inf"), float("-inf"))
+
+
+def build_sample(progress=None, registry: MetricsRegistry | None = None,
+                 now: float | None = None) -> TelemetrySample:
+    """Assemble one sample from snapshots only (never live state).
+
+    ``progress`` is an engine :class:`ProgressSnapshot` (or ``None``
+    before the engine starts); ``registry`` defaults to the process
+    -global :data:`~repro.observe.counters.REGISTRY`.
+    """
+    sample = TelemetrySample(t=time.time() if now is None else now)
+    registry = REGISTRY if registry is None else registry
+    for name, summary in registry.snapshot().items():
+        if summary.get("type") == "counter":
+            sample.counters[name] = float(summary["value"])
+        elif summary.get("type") == "histogram":
+            sample.histograms[name] = {
+                k: v for k, v in summary.items() if k != "type"}
+    if progress is not None:
+        attempted = progress.done + progress.quarantined
+        gauges = {
+            "campaign.total": float(progress.total),
+            "campaign.done": float(progress.done),
+            "campaign.skipped": float(progress.skipped),
+            "campaign.quarantined": float(progress.quarantined),
+            "campaign.retries": float(progress.retries),
+            "campaign.remaining": float(progress.remaining),
+            "campaign.elapsed_seconds": float(progress.elapsed),
+            "campaign.throughput": float(progress.throughput),
+            "campaign.quarantine_rate": (
+                progress.quarantined / attempted if attempted else 0.0),
+        }
+        if progress.eta is not None and _finite(progress.eta):
+            gauges["campaign.eta_seconds"] = float(progress.eta)
+        completed = sum(progress.breakdown.values())
+        diverged = sum(count for outcome, count in progress.breakdown.items()
+                       if outcome in DIVERGENCE_OUTCOMES)
+        gauges["campaign.divergence_rate"] = (
+            diverged / completed if completed else 0.0)
+        workers = progress.workers
+        gauges["workers.alive"] = float(len(workers))
+        gauges["workers.busy"] = float(sum(
+            w.busy_key is not None for w in workers.values()))
+        gauges["workers.restarts"] = float(sum(
+            w.restarts for w in workers.values()))
+        gauges["workers.stalled"] = float(len(progress.stalled_workers()))
+        sample.gauges.update(gauges)
+        sample.outcomes = {k: int(v) for k, v in
+                           sorted(progress.breakdown.items())}
+    return sample
+
+
+def derive_rates(previous: TelemetrySample | None,
+                 current: TelemetrySample) -> dict[str, float]:
+    """Per-second rates of every counter between two samples.
+
+    Counters are monotonic; a value that *decreased* means the counter
+    was reset (new process, explicit ``reset()``), in which case the
+    rate restarts from the current value — the Prometheus convention.
+    Without a previous sample (or with non-advancing time) there is no
+    rate to derive.
+    """
+    if previous is None:
+        return {}
+    dt = current.t - previous.t
+    if dt <= 0:
+        return {}
+    rates: dict[str, float] = {}
+    for name, value in current.counters.items():
+        before = previous.counters.get(name)
+        if before is None:
+            continue
+        delta = value - before
+        if delta < 0:  # counter reset: restart from the new value
+            delta = value
+        rates[name] = delta / dt
+    return rates
+
+
+class SeriesBuffer:
+    """Bounded ring of :class:`TelemetrySample` (oldest evicted first)."""
+
+    def __init__(self, maxlen: int = 720):
+        if maxlen <= 0:
+            raise ValueError("SeriesBuffer needs maxlen >= 1")
+        self._samples: deque[TelemetrySample] = deque(maxlen=maxlen)
+
+    @property
+    def maxlen(self) -> int:
+        return self._samples.maxlen
+
+    def append(self, sample: TelemetrySample) -> None:
+        self._samples.append(sample)
+
+    def latest(self) -> TelemetrySample | None:
+        return self._samples[-1] if self._samples else None
+
+    def window(self, seconds: float,
+               now: float | None = None) -> list[TelemetrySample]:
+        """Samples no older than ``seconds`` before ``now``."""
+        if now is None:
+            latest = self.latest()
+            now = latest.t if latest is not None else time.time()
+        cutoff = now - seconds
+        return [s for s in self._samples if s.t >= cutoff]
+
+    def values(self, metric: str) -> list[tuple[float, float]]:
+        """``(t, value)`` points of one flat metric across the ring."""
+        points = []
+        for sample in self._samples:
+            value = sample.flat().get(metric)
+            if value is not None:
+                points.append((sample.t, value))
+        return points
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(list(self._samples))
+
+
+class SeriesWriter:
+    """Append-only JSONL persistence for a telemetry series.
+
+    Follows the result-store conventions: a schema-versioned header
+    line, one flushed line per sample, and an existing file is replaced
+    (a series is an observation log of *this* run, not a resumable
+    artifact — the previous run's series is superseded).
+    """
+
+    def __init__(self, path: str | Path, meta: dict | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write({"record": SERIES_HEADER,
+                     "schema": SERIES_SCHEMA_VERSION,
+                     "kind": "telemetry_series",
+                     "meta": dict(meta or {})})
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, sample: TelemetrySample) -> None:
+        self._write({"record": SERIES_SAMPLE, **sample.to_dict()})
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SeriesWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_series(path: str | Path) -> tuple[dict, list[TelemetrySample]]:
+    """Parse a series file into ``(header, samples)``.
+
+    A truncated final line (sampler killed mid-write) is silently
+    dropped; malformed lines elsewhere are hard errors, and unknown
+    schema versions are rejected.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise SeriesFormatError(f"{path}: empty series file")
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # partial trailing write from a killed sampler
+            raise SeriesFormatError(
+                f"{path}:{lineno}: corrupt series record") from None
+    if not records:
+        raise SeriesFormatError(f"{path}: no parseable records")
+    header = records[0]
+    if header.get("record") != SERIES_HEADER:
+        raise SeriesFormatError(
+            f"{path}: first record is not a series header "
+            f"(got {header.get('record')!r})")
+    if header.get("schema") != SERIES_SCHEMA_VERSION:
+        raise SeriesFormatError(
+            f"{path}: series schema version {header.get('schema')!r} is "
+            f"not supported (this build reads version "
+            f"{SERIES_SCHEMA_VERSION})")
+    samples = [TelemetrySample.from_dict(r) for r in records[1:]
+               if r.get("record") == SERIES_SAMPLE]
+    return header, samples
+
+
+class TelemetrySampler:
+    """Periodic sampling thread feeding the ring, disk, and SLO engine.
+
+    ``provider`` is a zero-argument callable returning a fresh
+    :class:`TelemetrySample`; it must only read snapshots (the engine's
+    :meth:`~repro.engine.scheduler.CampaignEngine.progress`, the metric
+    registry) so a slow scrape can never block training.  Provider
+    errors are swallowed and counted (``errors``/``last_error``) — a
+    telemetry hiccup must not sink a multi-day campaign.
+    """
+
+    def __init__(self, provider, interval: float = 1.0,
+                 buffer: SeriesBuffer | None = None,
+                 path: str | Path | None = None,
+                 meta: dict | None = None,
+                 slo_engine=None,
+                 clock=time.time):
+        if interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        self.provider = provider
+        self.interval = float(interval)
+        self.buffer = buffer if buffer is not None else SeriesBuffer()
+        self.slo_engine = slo_engine
+        self._clock = clock
+        self._writer = SeriesWriter(path, meta=meta) if path else None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples_taken = 0
+        self.errors = 0
+        self.last_error: str | None = None
+
+    def sample_once(self) -> TelemetrySample | None:
+        """Take one sample now; returns it (or ``None`` on error)."""
+        try:
+            sample = self.provider()
+        except Exception as exc:  # noqa: BLE001 - telemetry must not kill runs
+            self.errors += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return None
+        if sample is None:
+            return None
+        sample.rates = derive_rates(self.buffer.latest(), sample)
+        self.buffer.append(sample)
+        self.samples_taken += 1
+        if self._writer is not None:
+            try:
+                self._writer.append(sample)
+            except (OSError, ValueError) as exc:
+                self.errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+        if self.slo_engine is not None:
+            self.slo_engine.evaluate(sample.flat(), now=sample.t)
+        return sample
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def start(self) -> "TelemetrySampler":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-telemetry-sampler")
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True, timeout: float = 2.0) -> None:
+        """Stop the thread; takes one last sample so the series ends on
+        the campaign's final state."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if final_sample:
+            self.sample_once()
+        if self._writer is not None:
+            self._writer.close()
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

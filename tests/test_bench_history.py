@@ -1,0 +1,239 @@
+"""Tests for the benchmark regression tracker (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryFormatError,
+    compare,
+    metric_direction,
+    read_history,
+    record_artifacts,
+    run_provenance,
+)
+from repro.cli import main
+
+
+def _artifact(path, **metrics):
+    path.write_text(json.dumps(metrics), encoding="utf-8")
+    return path
+
+
+def _record(tmp_path, history, sha, **metrics):
+    artifact = _artifact(tmp_path / "BENCH_demo.json", **metrics)
+    record_artifacts([artifact], history,
+                     provenance={"git_sha": sha, "host": "testhost"})
+
+
+# ----------------------------------------------------------------------
+# Direction inference
+# ----------------------------------------------------------------------
+class TestMetricDirection:
+    @pytest.mark.parametrize("name,expected", [
+        ("iterations_per_s", "higher"),       # not a ns_per_* cost
+        ("sampled_iterations_per_s", "higher"),
+        ("throughput", "higher"),
+        ("speedup_vs_serial", "higher"),
+        ("match_rate", "higher"),
+        ("overhead_fraction", "lower"),
+        ("overhead_per_s", "lower"),          # overhead wins over per_s
+        ("ns_per_call", "lower"),
+        ("elapsed_seconds", "lower"),
+        ("detection_latency", "lower"),
+        ("num_devices", "none"),
+        ("budget_fraction", "none"),
+        ("events_buffered", "none"),
+    ])
+    def test_direction(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class TestRecord:
+    def test_creates_header_and_extracts_numeric_metrics(self, tmp_path):
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        artifact = _artifact(tmp_path / "BENCH_smoke.json",
+                             iterations_per_s=100.0, num_devices=4,
+                             label="ignored", ok=True)
+        records = record_artifacts([artifact], history,
+                                   provenance={"git_sha": "abc"})
+        assert len(records) == 1
+        assert records[0]["bench"] == "smoke"
+        # Strings and bools are not metrics.
+        assert records[0]["metrics"] == {"iterations_per_s": 100.0,
+                                         "num_devices": 4.0}
+        header, benches = read_history(history)
+        assert header["schema"] == HISTORY_SCHEMA_VERSION
+        assert len(benches) == 1
+
+    def test_embedded_artifact_provenance_is_preserved(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        artifact = tmp_path / "BENCH_x.json"
+        artifact.write_text(json.dumps(
+            {"metric": 1.0,
+             "provenance": {"git_sha": "artifact-sha"}}), encoding="utf-8")
+        records = record_artifacts([artifact], history,
+                                   provenance={"git_sha": "run-sha"})
+        assert records[0]["provenance"]["git_sha"] == "run-sha"
+        assert records[0]["artifact_provenance"]["git_sha"] == "artifact-sha"
+        # The provenance block itself is not a metric.
+        assert records[0]["metrics"] == {"metric": 1.0}
+
+    def test_appends_without_duplicate_header(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1", metric=1.0)
+        _record(tmp_path, history, "sha2", metric=2.0)
+        lines = history.read_text(encoding="utf-8").splitlines()
+        headers = [ln for ln in lines if '"header"' in ln]
+        assert len(headers) == 1 and len(lines) == 3
+
+    def test_unreadable_or_non_object_artifacts_raise(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        with pytest.raises(HistoryFormatError):
+            record_artifacts([tmp_path / "missing.json"], history)
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(HistoryFormatError):
+            record_artifacts([bad], history)
+
+
+class TestReadHistory:
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1", metric=1.0)
+        with open(history, "a", encoding="utf-8") as fh:
+            fh.write('{"record":"bench","bench":"demo","met')
+        _, records = read_history(history)
+        assert len(records) == 1
+
+    def test_schema_and_header_validation(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        history.write_text(json.dumps(
+            {"record": "header", "schema": 999}) + "\n", encoding="utf-8")
+        with pytest.raises(HistoryFormatError, match="schema"):
+            read_history(history)
+        history.write_text('{"record":"bench"}\n', encoding="utf-8")
+        with pytest.raises(HistoryFormatError, match="header"):
+            read_history(history)
+        with pytest.raises(HistoryFormatError):
+            read_history(tmp_path / "missing.jsonl")
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_detects_induced_regression_both_directions(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1",
+                iterations_per_s=100.0, overhead_fraction=0.01)
+        _record(tmp_path, history, "sha2",
+                iterations_per_s=80.0, overhead_fraction=0.02)
+        by_metric = {c.metric: c for c in compare(history, tolerance=0.05)}
+        slower = by_metric["iterations_per_s"]
+        assert slower.status == "regression"
+        assert slower.change == pytest.approx(-0.2)
+        assert slower.baseline_sha == "sha1"
+        assert slower.current_sha == "sha2"
+        assert by_metric["overhead_fraction"].status == "regression"
+        assert "regression" in slower.message()
+
+    def test_improvement_ok_and_untracked(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1",
+                iterations_per_s=100.0, num_devices=4)
+        _record(tmp_path, history, "sha2",
+                iterations_per_s=120.0, num_devices=4)
+        by_metric = {c.metric: c for c in compare(history)}
+        assert by_metric["iterations_per_s"].status == "improved"
+        assert by_metric["num_devices"].status == "untracked"
+
+    def test_within_tolerance_is_ok(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1", iterations_per_s=100.0)
+        _record(tmp_path, history, "sha2", iterations_per_s=97.0)
+        (comparison,) = compare(history, tolerance=0.05)
+        assert comparison.status == "ok"
+        # Tighter tolerance flips the verdict.
+        (comparison,) = compare(history, tolerance=0.01)
+        assert comparison.status == "regression"
+
+    def test_single_run_yields_no_comparisons(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1", iterations_per_s=100.0)
+        assert compare(history) == []
+
+    def test_metrics_filter(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        _record(tmp_path, history, "sha1",
+                iterations_per_s=100.0, overhead_fraction=0.01)
+        _record(tmp_path, history, "sha2",
+                iterations_per_s=80.0, overhead_fraction=0.02)
+        only = compare(history, metrics=["overhead_fraction"])
+        assert [c.metric for c in only] == ["overhead_fraction"]
+        qualified = compare(history, metrics=["demo.iterations_per_s"])
+        assert [c.metric for c in qualified] == ["iterations_per_s"]
+
+
+# ----------------------------------------------------------------------
+# Provenance + CLI wiring
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_run_provenance_carries_identity_fields(self):
+        stamp = run_provenance()
+        assert set(stamp) >= {"git_sha", "timestamp", "unix_time", "host",
+                              "platform", "python"}
+        assert stamp["timestamp"].endswith("+00:00") or \
+            stamp["timestamp"].endswith("Z")
+
+    def test_github_sha_env_wins(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "env-sha")
+        assert run_provenance()["git_sha"] == "env-sha"
+
+
+class TestBenchCli:
+    def test_record_then_gating_compare(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        artifact = _artifact(tmp_path / "BENCH_cli.json",
+                             iterations_per_s=100.0)
+        assert main(["bench", "record", str(artifact),
+                     "--history", str(history)]) == 0
+        _artifact(artifact, iterations_per_s=50.0)
+        assert main(["bench", "record", str(artifact),
+                     "--history", str(history)]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "compare", "--history", str(history)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "[regression]" in captured.out
+        assert "1 regression" in captured.err
+        # --informational reports without gating.
+        assert main(["bench", "compare", "--history", str(history),
+                     "--informational"]) == 0
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        history = tmp_path / "h.jsonl"
+        artifact = _artifact(tmp_path / "BENCH_cli.json", ns_per_call=10.0)
+        main(["bench", "record", str(artifact), "--history", str(history)])
+        _artifact(artifact, ns_per_call=30.0)
+        main(["bench", "record", str(artifact), "--history", str(history)])
+        capsys.readouterr()
+        rc = main(["bench", "compare", "--history", str(history), "--json",
+                   "--informational"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["regressions"] == ["cli.ns_per_call"]
+        assert doc["comparisons"][0]["metric"] == "ns_per_call"
+
+    def test_record_without_artifacts_is_usage_error(self, tmp_path,
+                                                     monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record"]) == 2
+        assert main(["bench", "compare",
+                     "--history", str(tmp_path / "none.jsonl")]) == 2
+        assert main(["bench", "compare", "--informational",
+                     "--history", str(tmp_path / "none.jsonl")]) == 0

@@ -1,5 +1,6 @@
 """Tests for the live campaign monitor (repro.engine.monitor)."""
 
+import json
 import os
 import time
 
@@ -10,9 +11,11 @@ from repro.engine import (
     ResultStore,
     collect,
     evaluate_alerts,
+    monitor_flat_metrics,
     render_html,
     render_markdown,
     render_text,
+    telemetry_sample,
 )
 from repro.engine.worker import UnitCapture
 from repro.observe import DETECTOR_FIRED, ITERATION_STATS, Tracer, shard_path
@@ -202,3 +205,84 @@ class TestMonitorCli:
                    "--interval", "0.01"])
         assert rc == 0
         assert "5/6 done" in capsys.readouterr().out
+
+
+class TestFlatMetricsAndSample:
+    def test_monitor_flat_metrics_namespace(self, tmp_path):
+        state = collect(_fixture_store(tmp_path / "r.jsonl"))
+        flat = monitor_flat_metrics(state)
+        assert flat["campaign.completed"] == 3.0
+        assert flat["campaign.quarantined"] == 1.0
+        assert flat["campaign.quarantine_rate"] == pytest.approx(0.25)
+        assert flat["campaign.divergence_rate"] == pytest.approx(1 / 3)
+        assert flat["workers.stalled"] == 0.0
+
+    def test_rates_absent_before_any_data(self, tmp_path):
+        # An empty campaign must leave rate metrics out (no_data), not
+        # report a trivially-passing 0.0.
+        store_path = _fixture_store(tmp_path / "r.jsonl", outcomes=(),
+                                    quarantined=())
+        flat = monitor_flat_metrics(collect(store_path))
+        assert "campaign.quarantine_rate" not in flat
+        assert "campaign.divergence_rate" not in flat
+        assert flat["campaign.completed"] == 0.0
+
+    def test_telemetry_sample_mirrors_state(self, tmp_path):
+        state = collect(_fixture_store(tmp_path / "r.jsonl"))
+        sample = telemetry_sample(state, now=123.0)
+        assert sample.t == 123.0
+        assert sample.gauges["campaign.done"] == 3.0
+        assert sample.gauges["campaign.total"] == 6.0
+        assert sample.gauges["campaign.remaining"] == 2.0
+        assert sample.outcomes == {"latent_inf_nan": 1, "ok": 2}
+        # The flat view feeds the same SLO namespace the rules address.
+        assert sample.flat()["outcome.latent_inf_nan"] == 1.0
+
+
+class TestMonitorSlo:
+    def _rules(self, tmp_path, rules):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(rules), encoding="utf-8")
+        return path
+
+    def test_json_embeds_slo_statuses(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rules = self._rules(tmp_path, [
+            {"name": "qrate", "metric": "campaign.quarantine_rate",
+             "max": 0.1, "severity": "critical"},
+            {"name": "healthy-divergence",
+             "metric": "campaign.divergence_rate", "max": 0.9}])
+        rc = main(["monitor", str(store_path), "--json",
+                   "--slo", str(rules)])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1  # the 0.25 quarantine rate breaches max=0.1
+        by_rule = {s["rule"]: s for s in doc["slo"]}
+        assert by_rule["qrate"]["state"] == "firing"
+        assert by_rule["healthy-divergence"]["state"] == "ok"
+
+    def test_text_mode_prints_firing_rules_and_gates(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rules = self._rules(tmp_path, [
+            {"name": "qrate", "metric": "campaign.quarantine_rate",
+             "max": 0.1}])
+        rc = main(["monitor", str(store_path), "--once",
+                   "--slo", str(rules)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "SLO" in out and "qrate" in out
+
+    def test_passing_rules_exit_zero(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rules = self._rules(tmp_path, [
+            {"name": "qrate", "metric": "campaign.quarantine_rate",
+             "max": 0.9}])
+        rc = main(["monitor", str(store_path), "--once",
+                   "--slo", str(rules)])
+        assert rc == 0
+
+    def test_malformed_rules_are_usage_error(self, tmp_path, capsys):
+        store_path = _fixture_store(tmp_path / "r.jsonl")
+        rules = self._rules(tmp_path, [{"name": "bad", "metric": "m"}])
+        rc = main(["monitor", str(store_path), "--once",
+                   "--slo", str(rules)])
+        assert rc == 2

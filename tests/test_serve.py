@@ -1,0 +1,271 @@
+"""Tests for the telemetry exposition and HTTP service (repro.serve)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import CampaignEngine, EngineConfig, ResultStore, WorkUnit
+from repro.observe.export import (
+    dumps_json,
+    metric_name,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.observe.slo import SLOEngine, SLORule
+from repro.observe.timeseries import TelemetrySample
+from repro.serve import (
+    CampaignTelemetry,
+    TelemetryHub,
+    TelemetryServer,
+    serve_monitor,
+)
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    """``(status, body, content_type)`` — 4xx/5xx are answers here."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (response.status, response.read().decode("utf-8"),
+                    response.headers.get("Content-Type", ""))
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8"), \
+            exc.headers.get("Content-Type", "")
+
+
+def _sample(**gauges) -> TelemetrySample:
+    return TelemetrySample(
+        t=100.0, gauges=gauges or {"campaign.done": 3.0},
+        counters={"engine.completed": 3.0},
+        rates={"engine.completed": 0.5},
+        histograms={"engine.experiment_seconds": {
+            "count": 3, "sum": 0.6, "mean": 0.2, "max": 0.3,
+            "p50": 0.2, "p99": 0.3}},
+        outcomes={"ok": 2, "latent_inf_nan": 1})
+
+
+# ----------------------------------------------------------------------
+# Exposition rendering
+# ----------------------------------------------------------------------
+class TestExposition:
+    def test_render_is_deterministic_and_parseable(self):
+        sample = _sample()
+        text = render_prometheus(sample)
+        assert text == render_prometheus(sample)
+        parsed = validate_exposition(text)
+        by_name = {name: value for name, labels, value in parsed
+                   if not labels}
+        assert by_name["repro_up"] == 1.0
+        assert by_name["repro_campaign_done"] == 3.0
+        assert by_name["repro_engine_completed_total"] == 3.0
+        assert by_name["repro_engine_completed_rate"] == 0.5
+        assert by_name["repro_engine_experiment_seconds_count"] == 3.0
+
+    def test_outcomes_and_quantiles_are_labelled(self):
+        parsed = validate_exposition(render_prometheus(_sample()))
+        labelled = {(name, tuple(sorted(labels.items()))): value
+                    for name, labels, value in parsed if labels}
+        assert labelled[("repro_campaign_outcome_total",
+                         (("outcome", "latent_inf_nan"),))] == 1.0
+        assert labelled[("repro_engine_experiment_seconds",
+                         (("quantile", "0.99"),))] == 0.3
+
+    def test_none_sample_still_exposes_up(self):
+        text = render_prometheus(None)
+        parsed = validate_exposition(text)
+        assert [(n, v) for n, _, v in parsed] == [("repro_up", 1.0)]
+
+    def test_metric_name_sanitization(self):
+        assert metric_name("campaign.done") == "repro_campaign_done"
+        assert metric_name("rate.engine-x y") == "repro_rate_engine_x_y"
+
+    def test_validator_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            validate_exposition("repro_up 1\nbroken{ 2\n")
+        with pytest.raises(ValueError):
+            validate_exposition("# TYPE repro_up bogus\nrepro_up 1\n")
+        with pytest.raises(ValueError):
+            validate_exposition("# HELP only comments\n")
+
+    def test_json_document_is_deterministic(self):
+        sample = _sample()
+        assert dumps_json(sample) == dumps_json(sample)
+        doc = json.loads(dumps_json(sample, meta={"workload": "resnet"}))
+        assert doc["schema"] == 1
+        assert doc["meta"] == {"workload": "resnet"}
+        assert doc["sample"]["outcomes"] == {"latent_inf_nan": 1, "ok": 2}
+
+
+# ----------------------------------------------------------------------
+# Hub + server endpoints
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_all_endpoints_respond(self):
+        hub = TelemetryHub(meta={"workload": "resnet"})
+        hub.publish(_sample())
+        with TelemetryServer(hub, port=0) as server:
+            status, body, ctype = _get(f"{server.url}/metrics")
+            assert status == 200 and "version=0.0.4" in ctype
+            validate_exposition(body)
+
+            status, body, _ = _get(f"{server.url}/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            status, body, _ = _get(f"{server.url}/progress")
+            assert json.loads(body)["schema"] == 1
+
+            status, body, _ = _get(f"{server.url}/alerts")
+            assert json.loads(body)["firing"] == []
+
+            status, body, _ = _get(f"{server.url}/")
+            assert "/metrics" in json.loads(body)["endpoints"]
+
+            status, body, _ = _get(f"{server.url}/nope")
+            assert status == 404
+            assert "/healthz" in json.loads(body)["endpoints"]
+        assert hub.scrapes == 6
+
+    def test_healthz_degrades_on_firing_critical_slo(self):
+        slo = SLOEngine([SLORule(name="qrate",
+                                 metric="campaign.quarantine_rate",
+                                 max=0.1)])
+        hub = TelemetryHub(slo_engine=slo)
+        sample = TelemetrySample(
+            t=time.time(), gauges={"campaign.quarantine_rate": 0.5})
+        slo.evaluate(sample.flat(), now=sample.t)
+        hub.publish(sample)
+        with TelemetryServer(hub, port=0) as server:
+            status, body, _ = _get(f"{server.url}/healthz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["status"] == "degraded"
+            assert "slo:qrate" in payload["reasons"]
+
+            status, body, _ = _get(f"{server.url}/alerts")
+            assert json.loads(body)["firing"] == ["qrate"]
+
+    def test_healthz_degrades_on_stalled_workers_and_legacy_alerts(self):
+        hub = TelemetryHub()
+        hub.publish(TelemetrySample(t=time.time(),
+                                    gauges={"workers.stalled": 2.0}),
+                    alerts=["stalled workers: w0, w1"])
+        healthy, payload = hub.health()
+        assert not healthy
+        assert "stalled_workers:2" in payload["reasons"]
+        assert any(r.startswith("alert:") for r in payload["reasons"])
+
+
+# ----------------------------------------------------------------------
+# Concurrent scrape-while-writing (the ISSUE acceptance scenario):
+# a live parallel engine runs while a scraper hammers /metrics — every
+# single scrape must parse.
+# ----------------------------------------------------------------------
+def _sleepy_factory():
+    def run(payload):
+        time.sleep(payload.get("sleep", 0.0))
+        return {"value": payload["x"], "outcome": "ok"}
+    return run
+
+
+class TestConcurrentScrape:
+    def test_every_scrape_parses_during_live_parallel_run(self):
+        units = [WorkUnit(key=f"key{i}",
+                          payload={"key": f"key{i}", "x": i, "sleep": 0.03})
+                 for i in range(12)]
+        telemetry = CampaignTelemetry(port=0, interval=0.01)
+        engine = CampaignEngine(_sleepy_factory, EngineConfig(parallel=2))
+        telemetry.on_engine(engine)
+        report_box = {}
+
+        def run_engine():
+            report_box["report"] = engine.run(units)
+
+        runner = threading.Thread(target=run_engine)
+        with telemetry:
+            runner.start()
+            scrapes = 0
+            while runner.is_alive():
+                _, body, _ = _get(f"{telemetry.url}/metrics")
+                validate_exposition(body)  # raises on any malformed scrape
+                status, health, _ = _get(f"{telemetry.url}/healthz")
+                assert status in (200, 503)
+                json.loads(health)
+                scrapes += 1
+            runner.join()
+        assert scrapes >= 3, f"only {scrapes} scrapes landed mid-run"
+        assert report_box["report"].executed == 12
+        # The final (post-stop) sample reflects the finished campaign.
+        final = telemetry.buffer.latest()
+        assert final.gauges["campaign.done"] == 12.0
+
+    def test_campaign_telemetry_persists_series_and_gates_on_slo(
+            self, tmp_path):
+        store_path = tmp_path / "camp.jsonl"
+        rules = [SLORule(name="done-ceiling", metric="campaign.done",
+                         max=0.5)]
+        telemetry = CampaignTelemetry(store_path=store_path, port=0,
+                                      interval=0.01, rules=rules)
+        engine = CampaignEngine(_sleepy_factory, EngineConfig(parallel=1))
+        telemetry.on_engine(engine)
+        units = [WorkUnit(key=f"k{i}",
+                          payload={"key": f"k{i}", "x": i, "sleep": 0.02})
+                 for i in range(4)]
+        with telemetry:
+            engine.run(units)
+            time.sleep(0.05)  # let the sampler observe the breach
+        assert telemetry.breached() == ["done-ceiling"]
+        assert telemetry.series_path.exists()
+        from repro.observe.timeseries import read_series
+        _, samples = read_series(telemetry.series_path)
+        assert samples, "series file persisted no samples"
+
+
+# ----------------------------------------------------------------------
+# Post-hoc twin: repro monitor --serve over an on-disk store
+# ----------------------------------------------------------------------
+class TestServeMonitor:
+    def _store(self, path, total=3):
+        store = ResultStore(path, kind="campaign",
+                            meta={"workload": "resnet",
+                                  "num_experiments": total})
+        for i in range(total):
+            store.append(f"key{i}", {"outcome": "ok", "index": i})
+        store.close()
+        return path
+
+    def test_serves_until_complete_and_reports(self, tmp_path):
+        store_path = self._store(tmp_path / "r.jsonl")
+        seen = {}
+
+        def on_start(url):
+            status, body, _ = _get(f"{url}/metrics")
+            seen["metrics"] = (status, body)
+
+        result = serve_monitor(store_path, port=0, interval=0.01,
+                               max_polls=5, on_start=on_start)
+        assert result["polls"] >= 1
+        assert result["alerts"] == []
+        assert result["slo_breached"] == []
+        # The campaign in the store is complete, so it exits on its own.
+        status, body = seen["metrics"]
+        assert status == 200
+        validate_exposition(body)
+
+    def test_slo_rules_evaluate_against_polled_state(self, tmp_path):
+        store_path = self._store(tmp_path / "r.jsonl")
+        rules = [SLORule(name="done-floor", metric="campaign.done",
+                         min=100.0)]
+        result = serve_monitor(store_path, port=0, interval=0.01,
+                               max_polls=2, rules=rules)
+        assert result["slo_breached"] == ["done-floor"]
+        assert any(s["rule"] == "done-floor" and s["state"] == "firing"
+                   for s in result["statuses"])
+
+    def test_unreadable_store_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="monitor polling failed"):
+            serve_monitor(tmp_path / "missing.jsonl", port=0,
+                          interval=0.01, max_polls=1)
