@@ -43,7 +43,13 @@ from repro.workloads import build_workload
 NUM_DEVICES = 8
 WARMUP_ITERATIONS = 4
 MEASURED_ITERATIONS = 12
-REPEATS = 3
+#: Best-of-N repeats.  At 2 the interleaved max-of runs still carried
+#: enough scheduler noise to report *negative* overhead fractions (see
+#: the PR-9 BENCH_observe_overhead.json); 5 repeats makes the best-of
+#: estimate tight enough that the <=5% gate measures the tracer, not
+#: the machine.
+REPEATS = 5
+SMOKE_REPEATS = 4
 
 #: The acceptance budget: a live tracer may cost at most this fraction
 #: of an iteration relative to the untraced run.
@@ -204,9 +210,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="reduced run for CI (fewer devices/iterations)")
     args = parser.parse_args(argv)
     if args.smoke:
-        results = _end_to_end(num_devices=2, warmup=2, iterations=6,
-                              repeats=2)
-        _report_and_check(*results, 2, 6, repeats=2)
+        results = _end_to_end(num_devices=2, warmup=2, iterations=8,
+                              repeats=SMOKE_REPEATS)
+        _report_and_check(*results, 2, 8, repeats=SMOKE_REPEATS)
     else:
         results = _end_to_end()
         _report_and_check(*results, NUM_DEVICES, MEASURED_ITERATIONS)

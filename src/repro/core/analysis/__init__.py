@@ -2,9 +2,13 @@
 
 from repro.core.analysis.classify import (
     ClassifierThresholds,
+    InferenceOutcome,
     Outcome,
     OutcomeReport,
+    classify_inference_experiment,
+    classify_inference_rows,
     classify_outcome,
+    inference_breakdown,
     outcome_breakdown,
 )
 from repro.core.analysis.phases import (
@@ -39,6 +43,7 @@ from repro.core.analysis.stats import (
 __all__ = [
     "ClassifierThresholds",
     "ConditionOnset",
+    "InferenceOutcome",
     "Outcome",
     "OutcomeReport",
     "PhaseAnalysis",
@@ -46,7 +51,10 @@ __all__ = [
     "PropagationTracer",
     "ProportionEstimate",
     "campaign_report_dict",
+    "classify_inference_experiment",
+    "classify_inference_rows",
     "classify_outcome",
+    "inference_breakdown",
     "condition_magnitude_in_window",
     "condition_onsets",
     "convergence_report_dict",

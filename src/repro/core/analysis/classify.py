@@ -267,3 +267,68 @@ def outcome_breakdown(reports: list[OutcomeReport]) -> dict[str, float]:
         counts[report.outcome.value] = counts.get(report.outcome.value, 0) + 1
     total = len(reports)
     return {name: counts.get(name, 0) / total for name in [o.value for o in Outcome]}
+
+
+class InferenceOutcome(str, Enum):
+    """Per-request outcome of a fault during inference (Table 5 axis).
+
+    Inference has no convergence trend to classify, so the taxonomy
+    collapses to the three-way split used by the inference-FI literature
+    (TensorFI, PyTorchFI): did the top-1 prediction flip (SDC), did the
+    corruption announce itself as INFs/NaNs, or was it masked entirely.
+    Shared by the offline :class:`~repro.core.faults.campaign.InferenceCampaign`
+    and the live ``repro.serving`` request path.
+    """
+
+    MASKED = "masked"
+    SDC = "sdc"
+    NONFINITE = "nonfinite"
+
+    @property
+    def is_silent(self) -> bool:
+        """SDCs are silent; NaNs/INFs are detectable by a cheap screen."""
+        return self is InferenceOutcome.SDC
+
+
+def classify_inference_rows(
+    faulty: np.ndarray, golden_pred: np.ndarray
+) -> list[InferenceOutcome]:
+    """Classify each row of a faulty batched forward against golden top-1.
+
+    Precedence per row is SDC > NONFINITE > MASKED: a flipped prediction
+    is an SDC even when the row also contains non-finite values (the
+    user-visible answer changed — that the corruption was *also*
+    detectable does not undo it).
+    """
+    faulty = np.asarray(faulty)
+    pred = np.argmax(np.nan_to_num(faulty, nan=-np.inf), axis=-1)
+    sdc = pred != np.asarray(golden_pred)
+    finite = np.all(np.isfinite(faulty), axis=tuple(range(1, faulty.ndim)))
+    out: list[InferenceOutcome] = []
+    for flipped, ok in zip(sdc, finite):
+        if flipped:
+            out.append(InferenceOutcome.SDC)
+        elif not ok:
+            out.append(InferenceOutcome.NONFINITE)
+        else:
+            out.append(InferenceOutcome.MASKED)
+    return out
+
+
+def classify_inference_experiment(
+    *, sdc: bool, nonfinite: bool
+) -> InferenceOutcome:
+    """Experiment-level outcome from batch-wide flags (same precedence)."""
+    if sdc:
+        return InferenceOutcome.SDC
+    if nonfinite:
+        return InferenceOutcome.NONFINITE
+    return InferenceOutcome.MASKED
+
+
+def inference_breakdown(outcomes: list[str]) -> dict[str, int]:
+    """Counts per :class:`InferenceOutcome` value, all keys present."""
+    counts = {o.value: 0 for o in InferenceOutcome}
+    for name in outcomes:
+        counts[str(name)] = counts.get(str(name), 0) + 1
+    return counts

@@ -25,10 +25,13 @@ import numpy as np
 from repro.accelerator.ffs import FFInventory
 from repro.core.analysis.classify import (
     ClassifierThresholds,
+    InferenceOutcome,
     Outcome,
     OutcomeReport,
+    classify_inference_experiment,
     classify_outcome,
     classify_outcomes,
+    inference_breakdown,
     outcome_breakdown,
 )
 from repro.core.analysis.propagation import PropagationTracer
@@ -628,9 +631,10 @@ class InferenceCampaign:
             nonfinite = not bool(np.all(np.isfinite(faulty)))
             pred = np.argmax(np.nan_to_num(faulty, nan=-np.inf), axis=-1)
             sdc = bool(np.any(pred != self._golden_pred))
-            outcome = "sdc" if sdc else ("nonfinite" if nonfinite else "masked")
+            outcome = classify_inference_experiment(sdc=sdc, nonfinite=nonfinite)
             return {"index": payload["index"], "fault": payload["fault"],
-                    "sdc": sdc, "nonfinite": nonfinite, "outcome": outcome}
+                    "sdc": sdc, "nonfinite": nonfinite,
+                    "outcome": outcome.value}
 
         return run_unit
 
@@ -688,6 +692,13 @@ class InferenceCampaign:
         finally:
             self.model.train()
         n = max(int(num_experiments), 1)
-        payloads = report.results.values()
+        payloads = list(report.results.values())
+        breakdown = inference_breakdown(
+            [p.get("outcome") or classify_inference_experiment(
+                sdc=bool(p["sdc"]), nonfinite=bool(p["nonfinite"])).value
+             for p in payloads])
         return {"sdc_rate": sum(p["sdc"] for p in payloads) / n,
-                "nonfinite_rate": sum(p["nonfinite"] for p in payloads) / n}
+                "nonfinite_rate": sum(p["nonfinite"] for p in payloads) / n,
+                "masked_rate": breakdown[InferenceOutcome.MASKED.value] / n,
+                "breakdown": breakdown,
+                "num_experiments": len(payloads)}

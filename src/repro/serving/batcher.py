@@ -1,0 +1,154 @@
+"""Request queue and dynamic batcher for the inference server.
+
+The batcher is the shape of every production serving stack (Triton,
+TorchServe, vLLM's continuous batching ancestor): requests land in a
+bounded queue, a collector coalesces them into batches of at most
+``max_batch``, and a batch is released early once the oldest request has
+waited ``max_wait_s`` — latency is traded for throughput explicitly, at
+two knobs.  A full queue sheds instead of buffering unboundedly
+(backpressure), so overload degrades p99 and availability, never memory.
+
+The batcher is policy-free: it knows nothing about models or faults.
+``execute`` is a synchronous callable ``list[payload] -> list[result]``
+run in the default thread-pool executor, so the event loop keeps
+accepting and coalescing the *next* batch while the current one computes
+— the same pipelining that makes dynamic batching pay off on real
+hardware.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class ShedError(RuntimeError):
+    """Raised to a submitter when the bounded queue is full (overload)."""
+
+
+class _Request:
+    __slots__ = ("payload", "future")
+
+    def __init__(self, payload, future):
+        self.payload = payload
+        self.future = future
+
+
+class DynamicBatcher:
+    """Coalesce submitted payloads into batches for ``execute``.
+
+    Parameters
+    ----------
+    execute:
+        Synchronous ``list[payload] -> list[result]`` (one result per
+        payload, same order).  Runs in the default executor.
+    max_batch:
+        Hard cap on batch size; a batch is released immediately when it
+        fills.
+    max_wait_s:
+        How long the oldest request in a forming batch may wait for
+        company before the batch is released part-full.
+    queue_cap:
+        Bound on queued (not-yet-batched) requests; ``submit`` raises
+        :class:`ShedError` beyond it.
+    """
+
+    def __init__(self, execute, max_batch: int = 32,
+                 max_wait_s: float = 0.005, queue_cap: int = 256):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        if queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1")
+        self.execute = execute
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.queue_cap = int(queue_cap)
+        self._queue: asyncio.Queue[_Request] = asyncio.Queue(maxsize=queue_cap)
+        self._stopping = False
+        #: Lifetime stats, read by the serving engine's sampler.
+        self.submitted = 0
+        self.shed = 0
+        self.batches = 0
+        self.batch_sizes: list[int] = []
+
+    @property
+    def depth(self) -> int:
+        """Requests queued but not yet claimed by a batch."""
+        return self._queue.qsize()
+
+    async def submit(self, payload):
+        """Enqueue one payload; resolves to its result from ``execute``.
+
+        Raises :class:`ShedError` when the queue is full or the batcher
+        is stopping — the caller turns that into an HTTP 503.
+        """
+        if self._stopping:
+            self.shed += 1
+            raise ShedError("batcher is stopping")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(_Request(payload, future))
+        except asyncio.QueueFull:
+            self.shed += 1
+            raise ShedError(
+                f"queue full ({self.queue_cap} waiting)") from None
+        self.submitted += 1
+        return await future
+
+    async def _collect(self) -> list[_Request] | None:
+        """Gather one batch, or ``None`` when stopping and drained."""
+        while True:
+            try:
+                first = await asyncio.wait_for(self._queue.get(), timeout=0.05)
+                break
+            except asyncio.TimeoutError:
+                if self._stopping:
+                    return None
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining))
+                except asyncio.TimeoutError:
+                    break
+        return batch
+
+    async def run(self) -> None:
+        """Collector loop: drive until :meth:`stop` and the queue drains."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect()
+            if batch is None:
+                return
+            payloads = [request.payload for request in batch]
+            try:
+                results = await loop.run_in_executor(
+                    None, self.execute, payloads)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"execute returned {len(results)} results for "
+                        f"{len(batch)} payloads")
+            except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            self.batches += 1
+            self.batch_sizes.append(len(batch))
+            for request, result in zip(batch, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+
+    def stop(self) -> None:
+        """Stop accepting; :meth:`run` exits after draining the queue."""
+        self._stopping = True

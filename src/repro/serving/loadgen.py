@@ -1,0 +1,147 @@
+"""Open-loop load generator for the inference server.
+
+Open-loop means requests are dispatched on a fixed schedule (request
+``i`` at ``start + i/rps``) regardless of how fast earlier responses
+come back — the arrival process a server actually faces, and the only
+one whose latency numbers survive coordinated omission: each request's
+latency is measured from its *scheduled* send time, so a stalled server
+accrues the queueing delay it caused instead of silently throttling the
+client.
+
+Speaks the server's one-request-per-connection HTTP dialect directly
+over asyncio streams; no third-party client needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import urlsplit
+
+import numpy as np
+
+
+async def _http(host: str, port: int, method: str, path: str,
+                body: dict | None = None,
+                timeout: float = 10.0) -> tuple[int, dict]:
+    """One ``Connection: close`` request; returns ``(status, json_body)``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("utf-8") + payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    header_end = raw.find(b"\r\n\r\n")
+    if header_end < 0 or not raw.startswith(b"HTTP/1.1 "):
+        raise ConnectionError("malformed HTTP response")
+    status = int(raw.split(b" ", 2)[1])
+    text = raw[header_end + 4:].decode("utf-8")
+    return status, json.loads(text) if text else {}
+
+
+def _split_url(url: str) -> tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.hostname is None or parts.port is None:
+        raise ValueError(f"loadgen needs host:port in the URL, got {url!r}")
+    return parts.hostname, parts.port
+
+
+async def run_loadgen(url: str, rps: float, duration: float, *,
+                      timeout: float = 10.0, seed: int = 0) -> dict:
+    """Drive ``rps * duration`` scheduled requests; return the report."""
+    if rps <= 0 or duration <= 0:
+        raise ValueError("rps and duration must be positive")
+    host, port = _split_url(url)
+    try:
+        _, workload = await _http(host, port, "GET", "/workload",
+                                  timeout=timeout)
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise ValueError(
+            f"no serve-infer endpoint reachable at {url}: {exc}") from exc
+    num_samples = int(workload.get("num_samples", 1))
+    total = max(1, int(round(rps * duration)))
+    rng = np.random.default_rng(seed)
+    sample_indices = rng.integers(0, num_samples, size=total)
+    loop = asyncio.get_running_loop()
+    start = loop.time() + 0.02
+
+    async def one(i: int) -> dict:
+        send_at = start + i / rps
+        delay = send_at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            status, body = await _http(
+                host, port, "POST", "/predict",
+                {"index": int(sample_indices[i])}, timeout=timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                json.JSONDecodeError, asyncio.IncompleteReadError) as exc:
+            return {"status": None, "error": f"{type(exc).__name__}: {exc}",
+                    "latency": loop.time() - send_at}
+        return {"status": status, "outcome": body.get("outcome"),
+                "recovered": bool(body.get("recovered")),
+                "latency": loop.time() - send_at}
+
+    results = await asyncio.gather(*(one(i) for i in range(total)))
+    elapsed = loop.time() - start
+    completed = [r for r in results if r["status"] == 200]
+    shed = sum(r["status"] == 503 for r in results)
+    errors = sum(r["status"] not in (200, 503) for r in results)
+    latencies = np.array([r["latency"] for r in completed]) \
+        if completed else np.zeros(0)
+    outcomes: dict[str, int] = {}
+    for r in completed:
+        if r.get("outcome"):
+            outcomes[r["outcome"]] = outcomes.get(r["outcome"], 0) + 1
+
+    def pct(q: float) -> float:
+        return float(np.percentile(latencies, q) * 1e3) if latencies.size \
+            else 0.0
+
+    return {
+        "url": url,
+        "rps": float(rps),
+        "duration_s": float(duration),
+        "requests": total,
+        "completed": len(completed),
+        "shed": int(shed),
+        "errors": int(errors),
+        "elapsed_s": float(elapsed),
+        "throughput_rps": len(completed) / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {"p50": pct(50), "p90": pct(90), "p99": pct(99),
+                       "max": float(latencies.max() * 1e3)
+                       if latencies.size else 0.0},
+        "outcomes": outcomes,
+        "recovered": sum(r.get("recovered", False) for r in completed),
+    }
+
+
+def render_loadgen(report: dict) -> str:
+    """Human-readable one-screen summary of a loadgen run."""
+    lat = report["latency_ms"]
+    lines = [
+        f"loadgen: {report['requests']} requests @ {report['rps']:g} rps "
+        f"against {report['url']}",
+        f"  completed {report['completed']}  shed {report['shed']}  "
+        f"errors {report['errors']}",
+        f"  throughput {report['throughput_rps']:.1f} rps   latency p50 "
+        f"{lat['p50']:.2f} ms  p90 {lat['p90']:.2f} ms  p99 "
+        f"{lat['p99']:.2f} ms",
+    ]
+    if report["outcomes"]:
+        pairs = "  ".join(f"{k}={v}" for k, v in
+                          sorted(report["outcomes"].items()))
+        lines.append(f"  fault outcomes: {pairs}  "
+                     f"(recovered {report['recovered']})")
+    return "\n".join(lines)

@@ -1,0 +1,417 @@
+"""Serving engine, asyncio HTTP front-end, and service driver.
+
+Three layers, separable for tests:
+
+* :class:`ServingEngine` — transport-free request path: dynamic batcher
+  -> vectorized batched forward with the in-flight
+  :class:`~repro.serving.session.FaultPlane` -> detection (nonfinite
+  screen on every armed batch, sampled golden shadow re-execution) ->
+  per-request :class:`~repro.core.analysis.classify.InferenceOutcome`
+  -> optional batch recovery (re-serve the fault-free re-execution, the
+  serving analogue of the paper's two-iteration rewind).  All metrics
+  land in a per-engine :class:`~repro.observe.counters.MetricsRegistry`.
+* :class:`InferenceServer` — a minimal asyncio HTTP/1.1 server (stdlib
+  only, ``Connection: close``) exposing ``POST /predict`` next to the
+  telemetry surface (``/metrics``, ``/healthz``, ``/progress``,
+  ``/alerts``) rendered by the same :class:`~repro.serve.TelemetryHub`
+  the campaign service uses.
+* :func:`run_service` — wires engine + server + sampler + SLO engine
+  and runs until a duration elapses or the task is cancelled; the
+  telemetry series lands in ``<store>.series.jsonl``.
+
+Detection semantics: with ``fault_rate == 0`` nothing is armed and the
+response bytes are bit-identical to a direct ``model.forward`` of the
+same batch.  When a fault fires, the nonfinite screen always runs; a
+full golden shadow re-execution of the *same batch* additionally runs
+with probability ``shadow_rate`` (and always when the screen trips).
+Only a shadowed batch can observe SDCs — the ``serving.sdc`` counter is
+therefore *detected* silent corruptions, a lower bound that tightens as
+``shadow_rate`` -> 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.core.analysis.classify import InferenceOutcome, classify_inference_rows
+from repro.observe.counters import MetricsRegistry
+from repro.observe.slo import SLOEngine, SLORule
+from repro.observe.timeseries import TelemetrySampler, build_sample, series_path
+from repro.serve import DEFAULT_HOST, TelemetryHub
+from repro.serving.batcher import DynamicBatcher, ShedError
+from repro.serving.session import FaultPlane, InferenceSession
+
+#: Batch-size histogram bounds: exact integer buckets up to the largest
+#: max-batch anyone configures in practice.
+_BATCH_BOUNDS = tuple(float(b) for b in (1, 2, 4, 8, 16, 32, 64, 128, 256))
+
+#: SLO rules applied when `repro serve-infer` is given no --slo file:
+#: availability (shed rate), tail latency, and silent-corruption budget.
+DEFAULT_SERVING_RULES = (
+    SLORule(name="shed-rate", metric="serving.shed_rate", max=0.05,
+            severity="critical", for_seconds=1.0),
+    SLORule(name="p99-latency", metric="serving.latency_seconds.p99",
+            max=0.5, severity="warning", for_seconds=1.0),
+    SLORule(name="sdc-per-million", metric="serving.sdc_per_million",
+            max=100.0, severity="critical", for_seconds=1.0),
+)
+
+
+class ServingEngine:
+    """The request path: batching, faults, detection, recovery, metrics."""
+
+    def __init__(self, session: InferenceSession, fault_rate: float = 0.0,
+                 seed: int = 0, max_batch: int = 32,
+                 max_wait_s: float = 0.005, queue_cap: int = 256,
+                 shadow_rate: float = 0.25, recover: bool = True,
+                 registry: MetricsRegistry | None = None):
+        if not 0.0 <= shadow_rate <= 1.0:
+            raise ValueError("shadow_rate must be in [0, 1]")
+        self.session = session
+        self.plane = FaultPlane(session.model, fault_rate, seed=seed)
+        self.shadow_rate = float(shadow_rate)
+        self.recover = bool(recover)
+        self._shadow_rng = np.random.default_rng(seed + 0x5AD0)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.batcher = DynamicBatcher(
+            self._execute_batch, max_batch=max_batch,
+            max_wait_s=max_wait_s, queue_cap=queue_cap)
+        reg = self.registry
+        self.c_requests = reg.counter("serving.requests")
+        self.c_responses = reg.counter("serving.responses")
+        self.c_shed = reg.counter("serving.shed")
+        self.c_errors = reg.counter("serving.errors")
+        self.c_batches = reg.counter("serving.batches")
+        self.c_faults_armed = reg.counter("serving.faults_armed")
+        self.c_faults_fired = reg.counter("serving.faults_fired")
+        self.c_shadow = reg.counter("serving.shadow_execs")
+        self.c_recovered = reg.counter("serving.recovered_batches")
+        self.c_outcome = {
+            outcome: reg.counter(f"serving.{outcome.value}")
+            for outcome in InferenceOutcome}
+        self.h_latency = reg.histogram("serving.latency_seconds")
+        self.h_batch_size = reg.histogram("serving.batch_size",
+                                          bounds=_BATCH_BOUNDS)
+
+    # ------------------------------------------------------------------
+    # Hot path (runs in the batcher's executor thread)
+    # ------------------------------------------------------------------
+    def _execute_batch(self, payloads: list[dict]) -> list[dict]:
+        indices = [int(p["index"]) for p in payloads]
+        batch = self.session.gather(indices)
+        injectors = self.plane.arm(len(payloads))
+        try:
+            outputs = self.session.forward(batch)
+        finally:
+            FaultPlane.disarm(injectors)
+        fired = sum(injector.fired for injector in injectors)
+        self.c_batches.inc()
+        self.h_batch_size.observe(float(len(payloads)))
+        self.c_faults_armed.inc(len(injectors))
+        self.c_faults_fired.inc(fired)
+
+        outcomes: list[InferenceOutcome | None] = [None] * len(payloads)
+        recovered = False
+        screened = False
+        if fired:
+            finite_rows = np.all(
+                np.isfinite(outputs),
+                axis=tuple(range(1, outputs.ndim)))
+            shadow = (not bool(finite_rows.all())
+                      or float(self._shadow_rng.random()) < self.shadow_rate)
+            if shadow:
+                screened = True
+                self.c_shadow.inc()
+                # Same batch, injectors disarmed: this re-execution IS
+                # the golden output for these requests — per-row
+                # bit-identity holds because the batch composition (and
+                # so every BLAS reduction order) is unchanged.
+                golden = self.session.forward(batch)
+                golden_pred = np.argmax(
+                    np.nan_to_num(golden, nan=-np.inf), axis=-1)
+                outcomes = list(classify_inference_rows(outputs, golden_pred))
+                for outcome in outcomes:
+                    self.c_outcome[outcome].inc()
+                if self.recover and not np.array_equal(
+                        outputs, golden, equal_nan=True):
+                    outputs = golden
+                    recovered = True
+                    self.c_recovered.inc()
+
+        preds = np.argmax(np.nan_to_num(outputs, nan=-np.inf), axis=-1)
+        responses = []
+        for row, payload in enumerate(payloads):
+            responses.append({
+                "index": indices[row],
+                "pred": int(preds[row]),
+                "output": np.asarray(outputs[row]).ravel().tolist(),
+                "outcome": outcomes[row].value if outcomes[row] else None,
+                "screened": screened,
+                "recovered": recovered,
+                "batch_size": len(payloads),
+                "faults_fired": int(fired),
+            })
+        self.c_responses.inc(len(payloads))
+        return responses
+
+    # ------------------------------------------------------------------
+    # Front-end entry points
+    # ------------------------------------------------------------------
+    async def predict(self, index: int) -> dict:
+        """Submit one request; raises :class:`ShedError` on overload."""
+        self.c_requests.inc()
+        started = time.perf_counter()
+        try:
+            result = await self.batcher.submit({"index": int(index)})
+        except ShedError:
+            self.c_shed.inc()
+            raise
+        except Exception:
+            self.c_errors.inc()
+            raise
+        self.h_latency.observe(time.perf_counter() - started)
+        return result
+
+    def sample(self):
+        """One telemetry sample: registry snapshot + serving gauges."""
+        sample = build_sample(progress=None, registry=self.registry)
+        requests = self.c_requests.value
+        responses = self.c_responses.value
+        sample.gauges.update({
+            "serving.queue_depth": float(self.batcher.depth),
+            "serving.shed_rate": (
+                self.c_shed.value / requests if requests else 0.0),
+            "serving.sdc_per_million": (
+                self.c_outcome[InferenceOutcome.SDC].value / responses * 1e6
+                if responses else 0.0),
+            "serving.fault_rate": self.plane.rate,
+        })
+        sample.outcomes = {
+            outcome.value: int(self.c_outcome[outcome].value)
+            for outcome in InferenceOutcome}
+        return sample
+
+    def summary(self) -> dict:
+        """End-of-run summary (what ``serve-infer`` writes to --store)."""
+        sample = self.sample()
+        return {
+            "kind": "serving",
+            "workload": self.session.spec.name,
+            "fault_rate": self.plane.rate,
+            "shadow_rate": self.shadow_rate,
+            "recover": self.recover,
+            "requests": int(self.c_requests.value),
+            "responses": int(self.c_responses.value),
+            "shed": int(self.c_shed.value),
+            "batches": int(self.c_batches.value),
+            "faults_armed": int(self.c_faults_armed.value),
+            "faults_fired": int(self.c_faults_fired.value),
+            "shadow_execs": int(self.c_shadow.value),
+            "recovered_batches": int(self.c_recovered.value),
+            "outcomes": {o.value: int(self.c_outcome[o].value)
+                         for o in InferenceOutcome},
+            "sdc_per_million": sample.gauges["serving.sdc_per_million"],
+            "shed_rate": sample.gauges["serving.shed_rate"],
+            "latency_seconds": self.h_latency.summary(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Asyncio HTTP front-end
+# ----------------------------------------------------------------------
+_JSON = "application/json"
+
+
+class InferenceServer:
+    """Minimal asyncio HTTP/1.1 server over one :class:`ServingEngine`.
+
+    One request per connection (``Connection: close``) keeps the parser
+    trivial; the load generator and smoke scripts speak the same
+    dialect.  Telemetry endpoints delegate to the shared
+    :class:`~repro.serve.TelemetryHub` so scrapers see the exact surface
+    ``repro campaign --serve`` exposes.
+    """
+
+    def __init__(self, engine: ServingEngine, hub: TelemetryHub,
+                 host: str = DEFAULT_HOST, port: int = 0):
+        self.engine = engine
+        self.hub = hub
+        self.host = host
+        self.port = int(port)
+        self.url = ""
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher_task: asyncio.Task | None = None
+
+    async def start(self) -> "InferenceServer":
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.url = f"http://{self.host}:{self.port}"
+        self._batcher_task = asyncio.create_task(self.engine.batcher.run())
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.engine.batcher.stop()
+        if self._batcher_task is not None:
+            await self._batcher_task
+            self._batcher_task = None
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body, ctype = await self._respond(reader)
+            data = body.encode("utf-8")
+            phrase = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      503: "Service Unavailable",
+                      500: "Internal Server Error"}.get(status, "OK")
+            head = (f"HTTP/1.1 {status} {phrase}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("utf-8") + data)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _respond(self, reader) -> tuple[int, str, str]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, json.dumps({"error": "malformed request line"}), _JSON
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        body = await reader.readexactly(length) if length else b""
+
+        if method == "POST" and path == "/predict":
+            return await self._predict(body)
+        if method != "GET":
+            return 404, json.dumps({"error": f"no route {method} {path}"}), \
+                _JSON
+        path = path.rstrip("/") or "/"
+        self.hub.scrapes += 1
+        if path == "/metrics":
+            return 200, self.hub.metrics_text(), \
+                "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/healthz":
+            healthy, payload = self.hub.health()
+            return (200 if healthy else 503,
+                    json.dumps(payload, indent=2, sort_keys=True), _JSON)
+        if path == "/progress":
+            return 200, self.hub.progress_json(), _JSON
+        if path == "/alerts":
+            return 200, self.hub.alerts_json(), _JSON
+        if path == "/workload":
+            return 200, json.dumps({
+                "workload": self.engine.session.spec.name,
+                "num_samples": self.engine.session.num_samples,
+                "fault_rate": self.engine.plane.rate,
+                "max_batch": self.engine.batcher.max_batch,
+            }, sort_keys=True), _JSON
+        if path == "/":
+            return 200, json.dumps({
+                "endpoints": ["/predict", "/workload", "/metrics",
+                              "/healthz", "/progress", "/alerts"],
+                "meta": self.hub.meta}, indent=2, sort_keys=True), _JSON
+        return 404, json.dumps({"error": f"unknown path {path!r}"}), _JSON
+
+    async def _predict(self, body: bytes) -> tuple[int, str, str]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            index = int(payload["index"])
+        except (ValueError, KeyError, TypeError):
+            return 400, json.dumps(
+                {"error": "body must be JSON with an integer 'index'"}), _JSON
+        if not 0 <= index < self.engine.session.num_samples:
+            return 400, json.dumps(
+                {"error": f"index out of range "
+                          f"[0, {self.engine.session.num_samples})"}), _JSON
+        try:
+            result = await self.engine.predict(index)
+        except ShedError as exc:
+            return 503, json.dumps({"error": "shed", "detail": str(exc)}), \
+                _JSON
+        except Exception as exc:  # noqa: BLE001 - surface as HTTP 500
+            return 500, json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}), _JSON
+        return 200, json.dumps(result), _JSON
+
+
+# ----------------------------------------------------------------------
+# Service driver
+# ----------------------------------------------------------------------
+async def run_service(engine: ServingEngine, *, host: str = DEFAULT_HOST,
+                      port: int = 0, store=None,
+                      rules: list[SLORule] | None = None,
+                      interval: float = 0.25,
+                      duration: float | None = None,
+                      announce=None) -> dict:
+    """Serve until ``duration`` elapses (or cancellation); returns the
+    run summary with the list of SLO rules that ever fired."""
+    slo = SLOEngine(list(rules if rules is not None
+                         else DEFAULT_SERVING_RULES))
+    meta = {"workload": engine.session.spec.name, "kind": "serving",
+            "fault_rate": engine.plane.rate}
+    hub = TelemetryHub(meta=meta, slo_engine=slo)
+
+    def provider():
+        sample = engine.sample()
+        hub.publish(sample)
+        return sample
+
+    sampler = TelemetrySampler(
+        provider, interval=interval,
+        path=series_path(store) if store else None,
+        meta=meta, slo_engine=slo)
+    server = InferenceServer(engine, hub, host=host, port=port)
+    await server.start()
+    sampler.start()
+    if announce is not None:
+        announce(f"serving: {engine.session.spec.name} on {server.url} "
+                 f"(fault-rate {engine.plane.rate:g})")
+    cancelled = False
+    try:
+        if duration is None:
+            await asyncio.Event().wait()  # until cancelled
+        else:
+            await asyncio.sleep(duration)
+    except asyncio.CancelledError:
+        cancelled = True
+    finally:
+        # Runs on the normal path, cancellation, *and* interrupts: the
+        # summary and the on-disk store must reflect whatever was served.
+        await server.stop()
+        sampler.stop()
+        summary = engine.summary()
+        summary["breached"] = sorted(slo.ever_fired)
+        summary["breached_critical"] = slo.breached("critical")
+        if store is not None:
+            from pathlib import Path
+            Path(store).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            summary["series_path"] = str(series_path(store))
+    if cancelled:
+        raise asyncio.CancelledError
+    return summary

@@ -72,9 +72,19 @@ class TestExperiments:
 
 
 class TestInferenceCampaign:
-    def test_sdc_rates(self):
+    def test_sdc_rates_and_breakdown(self):
         spec = build_workload("resnet", size="tiny", seed=0)
         campaign = InferenceCampaign(spec, seed=0, train_iterations=20, num_devices=2)
         stats = campaign.run(num_experiments=15, seed=3)
         assert 0.0 <= stats["sdc_rate"] <= 1.0
         assert 0.0 <= stats["nonfinite_rate"] <= 1.0
+        # Full Table 5 taxonomy: counts cover every experiment, and the
+        # rates are the same numbers the breakdown normalizes to.
+        assert stats["num_experiments"] == 15
+        assert set(stats["breakdown"]) == {"masked", "sdc", "nonfinite"}
+        assert sum(stats["breakdown"].values()) == 15
+        assert stats["masked_rate"] == stats["breakdown"]["masked"] / 15
+        assert stats["sdc_rate"] == stats["breakdown"]["sdc"] / 15
+        # SDC takes precedence: nonfinite_rate counts all nonfinite
+        # experiments, so it bounds the nonfinite breakdown bucket.
+        assert stats["breakdown"]["nonfinite"] <= stats["nonfinite_rate"] * 15

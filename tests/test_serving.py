@@ -1,0 +1,425 @@
+"""Tests for repro.serving: batcher, fault plane, detection/recovery,
+and the HTTP front-end (no pytest-asyncio — coroutines run under
+``asyncio.run``)."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.classify import (
+    InferenceOutcome,
+    classify_inference_experiment,
+    classify_inference_rows,
+    inference_breakdown,
+)
+from repro.observe.export import validate_exposition
+from repro.observe.slo import SLORule
+from repro.serving import (
+    DynamicBatcher,
+    InferenceServer,
+    InferenceSession,
+    ServingEngine,
+    ShedError,
+)
+from repro.serving.loadgen import run_loadgen
+from repro.serving.server import run_service
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def session():
+    spec = build_workload("resnet", size="tiny", seed=0)
+    return InferenceSession(spec, seed=0, train_iterations=6, num_devices=2)
+
+
+# ----------------------------------------------------------------------
+# Outcome taxonomy (shared with InferenceCampaign)
+# ----------------------------------------------------------------------
+class TestInferenceOutcome:
+    def test_row_classification_with_precedence(self):
+        golden = np.array([[0.1, 0.9], [0.1, 0.9], [0.1, 0.9], [0.1, 0.9]])
+        golden_pred = np.argmax(golden, axis=-1)
+        faulty = golden.copy()
+        faulty[1] = [0.9, 0.1]            # prediction flips: SDC
+        faulty[2, 0] = np.nan             # NaN, argmax unchanged: nonfinite
+        faulty[3] = [np.inf, 0.1]         # inf flips argmax: SDC wins
+        outcomes = classify_inference_rows(faulty, golden_pred)
+        assert outcomes == [
+            InferenceOutcome.MASKED, InferenceOutcome.SDC,
+            InferenceOutcome.NONFINITE, InferenceOutcome.SDC]
+
+    def test_experiment_level_matches_campaign_strings(self):
+        assert classify_inference_experiment(
+            sdc=True, nonfinite=True).value == "sdc"
+        assert classify_inference_experiment(
+            sdc=False, nonfinite=True).value == "nonfinite"
+        assert classify_inference_experiment(
+            sdc=False, nonfinite=False).value == "masked"
+
+    def test_breakdown_counts_every_key(self):
+        counts = inference_breakdown(["sdc", "masked", "masked"])
+        assert counts == {"masked": 2, "sdc": 1, "nonfinite": 0}
+        assert InferenceOutcome.SDC.is_silent
+        assert not InferenceOutcome.NONFINITE.is_silent
+
+
+# ----------------------------------------------------------------------
+# Dynamic batcher (transport- and model-free)
+# ----------------------------------------------------------------------
+def _echo(payloads):
+    return [{"value": p["value"], "batch": len(payloads)} for p in payloads]
+
+
+class TestDynamicBatcher:
+    def test_coalesces_up_to_max_batch(self):
+        async def main():
+            batcher = DynamicBatcher(_echo, max_batch=4, max_wait_s=0.05)
+            # All eight submitted before the collector runs: they must
+            # coalesce into full batches of exactly max_batch.
+            submits = [asyncio.ensure_future(batcher.submit({"value": i}))
+                       for i in range(8)]
+            task = asyncio.ensure_future(batcher.run())
+            results = await asyncio.gather(*submits)
+            batcher.stop()
+            await task
+            return results, batcher
+
+        results, batcher = asyncio.run(main())
+        assert [r["value"] for r in results] == list(range(8))
+        assert batcher.batch_sizes == [4, 4]
+
+    def test_max_wait_flushes_part_full_batch(self):
+        async def main():
+            batcher = DynamicBatcher(_echo, max_batch=64, max_wait_s=0.01)
+            task = asyncio.ensure_future(batcher.run())
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            result = await batcher.submit({"value": 7})
+            waited = loop.time() - started
+            batcher.stop()
+            await task
+            return result, waited
+
+        result, waited = asyncio.run(main())
+        assert result == {"value": 7, "batch": 1}
+        # Released by the max-wait timer, far before any 64-deep batch.
+        assert waited < 5.0
+
+    def test_bounded_queue_sheds_under_overload(self):
+        async def main():
+            batcher = DynamicBatcher(_echo, max_batch=4, max_wait_s=0.01,
+                                     queue_cap=2)
+            # No collector running: the queue fills at queue_cap and the
+            # next submit must shed instead of buffering.
+            ok = [asyncio.ensure_future(batcher.submit({"value": i}))
+                  for i in range(2)]
+            await asyncio.sleep(0)  # let both enqueue up to queue_cap
+            with pytest.raises(ShedError):
+                await batcher.submit({"value": 99})
+            assert batcher.shed == 1
+            task = asyncio.ensure_future(batcher.run())
+            results = await asyncio.gather(*ok)
+            batcher.stop()
+            await task
+            return results
+
+        results = asyncio.run(main())
+        assert [r["value"] for r in results] == [0, 1]
+
+    def test_submit_after_stop_sheds(self):
+        async def main():
+            batcher = DynamicBatcher(_echo, max_batch=2)
+            batcher.stop()
+            with pytest.raises(ShedError):
+                await batcher.submit({"value": 0})
+
+        asyncio.run(main())
+
+    def test_execute_failure_fails_the_batch_not_the_loop(self):
+        calls = {"n": 0}
+
+        def flaky(payloads):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            return _echo(payloads)
+
+        async def main():
+            batcher = DynamicBatcher(flaky, max_batch=2, max_wait_s=0.005)
+            task = asyncio.ensure_future(batcher.run())
+            with pytest.raises(RuntimeError, match="boom"):
+                await batcher.submit({"value": 0})
+            result = await batcher.submit({"value": 1})
+            batcher.stop()
+            await task
+            return result
+
+        assert asyncio.run(main())["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Serving engine: zero-fault bit-identity, detection, batch recovery
+# ----------------------------------------------------------------------
+class TestServingEngine:
+    def test_zero_fault_is_bit_identical_to_direct_forward(self, session):
+        engine = ServingEngine(session, fault_rate=0.0, max_batch=4)
+        responses = engine._execute_batch([{"index": i} for i in range(4)])
+        direct = session.forward(session.gather([0, 1, 2, 3]))
+        for row, response in enumerate(responses):
+            assert response["output"] == direct[row].ravel().tolist()
+            assert response["outcome"] is None
+            assert not response["recovered"]
+        assert engine.c_outcome[InferenceOutcome.SDC].value == 0
+        assert engine.c_faults_armed.value == 0
+
+    def test_recovery_re_execution_is_golden_identical(self, session):
+        # Always-faulty regime with full shadowing: every corrupted
+        # batch must be re-served from its fault-free re-execution.
+        engine = ServingEngine(session, fault_rate=5.0, seed=7,
+                               max_batch=4, shadow_rate=1.0, recover=True)
+        golden = session.forward(session.gather([0, 1, 2, 3]))
+        for _ in range(8):
+            responses = engine._execute_batch(
+                [{"index": i} for i in range(4)])
+            for row, response in enumerate(responses):
+                assert response["output"] == golden[row].ravel().tolist()
+        assert engine.c_faults_fired.value > 0
+        assert engine.c_shadow.value == engine.c_batches.value
+
+    def test_no_recover_serves_faulty_outputs(self, session):
+        engine = ServingEngine(session, fault_rate=5.0, seed=7,
+                               max_batch=4, shadow_rate=1.0, recover=False)
+        golden = session.forward(session.gather([0, 1, 2, 3]))
+        diverged = False
+        for _ in range(8):
+            responses = engine._execute_batch(
+                [{"index": i} for i in range(4)])
+            for row, response in enumerate(responses):
+                if response["output"] != golden[row].ravel().tolist():
+                    diverged = True
+        assert diverged, "faulty outputs never reached responses"
+        assert engine.c_recovered.value == 0
+
+    def test_outcome_counters_feed_the_sample(self, session):
+        engine = ServingEngine(session, fault_rate=5.0, seed=11,
+                               max_batch=4, shadow_rate=1.0)
+        for _ in range(6):
+            engine._execute_batch([{"index": i} for i in range(4)])
+        sample = engine.sample()
+        counted = sum(sample.outcomes.values())
+        assert counted == 24  # every shadowed row classified
+        assert sample.gauges["serving.fault_rate"] == 5.0
+        if sample.outcomes["sdc"]:
+            assert sample.gauges["serving.sdc_per_million"] > 0
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end + service driver (real sockets, ephemeral ports)
+# ----------------------------------------------------------------------
+def _get(url: str) -> tuple[int, str]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+class TestInferenceServerHTTP:
+    def test_predict_and_telemetry_endpoints(self, session, tmp_path):
+        store = tmp_path / "serving.json"
+        report = {}
+
+        async def main():
+            engine = ServingEngine(session, fault_rate=1.0, seed=5,
+                                   max_batch=8, max_wait_s=0.002,
+                                   shadow_rate=1.0)
+            service = asyncio.ensure_future(run_service(
+                engine, port=0, store=store, duration=2.5,
+                announce=lambda m: report.setdefault("announce", m)))
+            while "announce" not in report:
+                await asyncio.sleep(0.01)
+            url = report["announce"].split()[3]
+            report["loadgen"] = await run_loadgen(url, rps=80, duration=1.0)
+            status, metrics = await asyncio.to_thread(_get, url + "/metrics")
+            report["metrics"] = (status, metrics)
+            report["workload"] = await asyncio.to_thread(
+                _get, url + "/workload")
+            report["bad"] = await asyncio.to_thread(_get, url + "/nope")
+            report["summary"] = await service
+
+        asyncio.run(main())
+        load = report["loadgen"]
+        assert load["completed"] > 0 and load["errors"] == 0
+        assert load["latency_ms"]["p99"] >= load["latency_ms"]["p50"] > 0
+        status, metrics = report["metrics"]
+        assert status == 200
+        parsed = validate_exposition(metrics)
+        names = {name for name, _, _ in parsed}
+        assert {"repro_serving_requests_total", "repro_serving_shed_total",
+                "repro_serving_sdc_total",
+                "repro_serving_queue_depth"} <= names
+        assert json.loads(report["workload"][1])["workload"] == "resnet"
+        assert report["bad"][0] == 404
+        summary = report["summary"]
+        assert summary["responses"] >= load["completed"]
+        assert summary["kind"] == "serving"
+        # Store + series artifacts landed.
+        assert json.loads(store.read_text())["workload"] == "resnet"
+        with open(summary["series_path"], encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[0]["record"] == "header"
+        flat_keys = set()
+        for line in lines[1:]:
+            flat_keys.update(line.get("gauges", {}))
+            flat_keys.update(line.get("histograms", {}))
+        assert "serving.shed_rate" in flat_keys
+        assert "serving.latency_seconds" in flat_keys
+
+    def test_healthz_degrades_under_induced_slo_breach(self, session):
+        report = {}
+        # An impossible ceiling: any served request breaches immediately.
+        rules = [SLORule(name="no-requests",
+                         metric="counter.serving.requests", max=0.0,
+                         severity="critical")]
+
+        async def main():
+            engine = ServingEngine(session, fault_rate=0.0, max_batch=4,
+                                   max_wait_s=0.001)
+            service = asyncio.ensure_future(run_service(
+                engine, port=0, rules=rules, interval=0.05, duration=1.5,
+                announce=lambda m: report.setdefault("announce", m)))
+            while "announce" not in report:
+                await asyncio.sleep(0.01)
+            url = report["announce"].split()[3]
+            report["healthz_before"] = await asyncio.to_thread(
+                _get, url + "/healthz")
+            await engine.predict(0)
+            await asyncio.sleep(0.3)  # let the sampler observe the breach
+            report["healthz"] = await asyncio.to_thread(
+                _get, url + "/healthz")
+            report["alerts"] = await asyncio.to_thread(
+                _get, url + "/alerts")
+            report["summary"] = await service
+
+        asyncio.run(main())
+        assert report["healthz_before"][0] == 200
+        status, body = report["healthz"]
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert "slo:no-requests" in payload["reasons"]
+        assert json.loads(report["alerts"][1])["firing"] == ["no-requests"]
+        assert report["summary"]["breached_critical"] == ["no-requests"]
+
+    def test_predict_validates_input(self, session):
+        report = {}
+
+        async def main():
+            engine = ServingEngine(session, max_batch=2, max_wait_s=0.001)
+            hub_service = asyncio.ensure_future(run_service(
+                engine, port=0, duration=1.0,
+                announce=lambda m: report.setdefault("announce", m)))
+            while "announce" not in report:
+                await asyncio.sleep(0.01)
+            url = report["announce"].split()[3]
+
+            def post(body):
+                request = urllib.request.Request(
+                    url + "/predict", data=body.encode("utf-8"),
+                    headers={"Content-Type": "application/json"})
+                try:
+                    with urllib.request.urlopen(request, timeout=10) as r:
+                        return r.status, r.read().decode("utf-8")
+                except urllib.error.HTTPError as exc:
+                    return exc.code, exc.read().decode("utf-8")
+
+            report["bad_json"] = await asyncio.to_thread(post, "not json")
+            report["bad_index"] = await asyncio.to_thread(
+                post, json.dumps({"index": 10 ** 9}))
+            report["good"] = await asyncio.to_thread(
+                post, json.dumps({"index": 0}))
+            await hub_service
+
+        asyncio.run(main())
+        assert report["bad_json"][0] == 400
+        assert report["bad_index"][0] == 400
+        status, body = report["good"]
+        assert status == 200
+        assert json.loads(body)["index"] == 0
+
+
+# ----------------------------------------------------------------------
+# Overload end to end: loadgen far above capacity must shed, not hang
+# ----------------------------------------------------------------------
+class TestOverload:
+    def test_loadgen_observes_shedding(self, session):
+        report = {}
+
+        def slow_execute(payloads):
+            import time as _time
+            _time.sleep(0.05)  # throttle capacity well below the load
+            return [{"index": p["index"], "pred": 0, "output": [],
+                     "outcome": None, "screened": False, "recovered": False,
+                     "batch_size": len(payloads), "faults_fired": 0}
+                    for p in payloads]
+
+        async def main():
+            engine = ServingEngine(session, max_batch=2, max_wait_s=0.001,
+                                   queue_cap=4)
+            engine.batcher.execute = slow_execute
+            service = asyncio.ensure_future(run_service(
+                engine, port=0, duration=2.0, interval=0.05,
+                announce=lambda m: report.setdefault("announce", m)))
+            while "announce" not in report:
+                await asyncio.sleep(0.01)
+            url = report["announce"].split()[3]
+            report["loadgen"] = await run_loadgen(url, rps=300,
+                                                  duration=1.0)
+            report["summary"] = await service
+
+        asyncio.run(main())
+        load = report["loadgen"]
+        assert load["shed"] > 0, "overload never shed"
+        assert load["errors"] == 0
+        summary = report["summary"]
+        assert summary["shed"] == load["shed"]
+        assert summary["shed_rate"] > 0
+        assert "shed-rate" in summary["breached"]
+
+
+# ----------------------------------------------------------------------
+# The server cooperates with plain threads (CLI smoke path)
+# ----------------------------------------------------------------------
+class TestThreadedClient:
+    def test_scrape_from_foreign_thread_while_serving(self, session):
+        report = {"codes": []}
+        announce = threading.Event()
+        url_box = {}
+
+        async def main():
+            engine = ServingEngine(session, max_batch=4, max_wait_s=0.002)
+
+            def on_announce(message):
+                url_box["url"] = message.split()[3]
+                announce.set()
+
+            await run_service(engine, port=0, duration=1.2,
+                              announce=on_announce)
+
+        def scraper():
+            announce.wait(timeout=5)
+            for _ in range(3):
+                status, body = _get(url_box["url"] + "/metrics")
+                validate_exposition(body)
+                report["codes"].append(status)
+
+        thread = threading.Thread(target=scraper)
+        thread.start()
+        asyncio.run(main())
+        thread.join(timeout=5)
+        assert report["codes"] == [200, 200, 200]
